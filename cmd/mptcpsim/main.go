@@ -1,0 +1,138 @@
+// Command mptcpsim runs one configured download on the simulated
+// testbed and reports its metrics — the unit of measurement behind
+// every figure in the paper. It can also write tcpdump-style pcap
+// captures from both endpoints for offline analysis with tracestat.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mptcplab/internal/experiment"
+	"mptcplab/internal/pathmodel"
+	"mptcplab/internal/pcap"
+	"mptcplab/internal/stats"
+	"mptcplab/internal/trace"
+	"mptcplab/internal/units"
+)
+
+func main() {
+	var (
+		transport  = flag.String("transport", "mp2", "sp-wifi | sp-cell | mp2 | mp4")
+		carrier    = flag.String("carrier", "att", "att | verizon | sprint")
+		wifi       = flag.String("wifi", "wifi", "wifi | coffeeshop")
+		controller = flag.String("cc", "coupled", "reno | coupled | olia")
+		scheduler  = flag.String("scheduler", "lowest-rtt", "lowest-rtt | round-robin")
+		sizeKB     = flag.Int("size-kb", 4096, "download size in KB")
+		seed       = flag.Int64("seed", 1, "simulation seed")
+		simSYN     = flag.Bool("simultaneous-syn", false, "send all subflow SYNs together (§4.1.2)")
+		penalize   = flag.Bool("penalize", false, "enable v0.86 receive-buffer penalization")
+		coldRadio  = flag.Bool("cold-radio", false, "skip the pre-measurement radio warmup pings")
+		pcapOut    = flag.String("pcap", "", "write client+server captures to <prefix>-client.pcap / -server.pcap")
+	)
+	flag.Parse()
+
+	cellProfile, err := pathmodel.ByName(*carrier)
+	exitOn(err)
+	wifiProfile, err := pathmodel.ByName(*wifi)
+	exitOn(err)
+
+	tb := experiment.NewTestbed(experiment.TestbedConfig{
+		WiFi:              wifiProfile,
+		Cell:              cellProfile,
+		ServerSecondIface: *transport == "mp4",
+		SampleProfiles:    true,
+		WarmRadio:         !*coldRadio,
+		Seed:              *seed,
+	})
+
+	var closers []func()
+	if *pcapOut != "" {
+		closers = append(closers, attachPcap(tb, *pcapOut)...)
+	}
+
+	rc := experiment.RunConfig{
+		Transport:       parseTransport(*transport),
+		Controller:      *controller,
+		Scheduler:       *scheduler,
+		Size:            units.ByteCount(*sizeKB) * units.KB,
+		SimultaneousSYN: *simSYN,
+		Penalize:        *penalize,
+	}
+	res := tb.Run(rc)
+	for _, c := range closers {
+		c()
+	}
+
+	if !res.Completed {
+		fmt.Println("download did NOT complete within the simulation timeout")
+		os.Exit(1)
+	}
+	fmt.Printf("config:        %s over %s (+%s)\n", rc.Describe(), cellProfile.Name, wifiProfile.Name)
+	fmt.Printf("download time: %.3f s\n", res.DownloadTime.Seconds())
+	fmt.Printf("subflows:      %d\n", res.Subflows)
+	fmt.Printf("cell share:    %.1f%%\n", res.CellShare()*100)
+	fmt.Printf("wifi:  %8d data pkts, loss %.2f%%\n", res.WiFiDataPkts, res.WiFiLossRate()*100)
+	fmt.Printf("cell:  %8d data pkts, loss %.2f%%\n", res.CellDataPkts, res.CellLossRate()*100)
+	printRTT("wifi RTT", res.WiFiRTTms)
+	printRTT("cell RTT", res.CellRTTms)
+	if len(res.OFOms) > 0 {
+		s := stats.New()
+		s.AddAll(res.OFOms)
+		fmt.Printf("out-of-order delay: n=%d in-order=%.1f%% mean=%.1fms p95=%.1fms max=%.0fms\n",
+			s.N(), 100*(1-s.FractionAbove(0)), s.Mean(), s.Quantile(0.95), s.Max())
+	}
+}
+
+func printRTT(label string, ms []float64) {
+	if len(ms) == 0 {
+		return
+	}
+	s := stats.New()
+	s.AddAll(ms)
+	fmt.Printf("%s: n=%d min=%.1f median=%.1f mean=%.1f max=%.1f ms\n",
+		label, s.N(), s.Min(), s.Median(), s.Mean(), s.Max())
+}
+
+func parseTransport(s string) experiment.Transport {
+	switch s {
+	case "sp-wifi":
+		return experiment.SPWiFi
+	case "sp-cell":
+		return experiment.SPCell
+	case "mp2":
+		return experiment.MP2
+	case "mp4":
+		return experiment.MP4
+	default:
+		exitOn(fmt.Errorf("unknown transport %q", s))
+		return 0
+	}
+}
+
+// attachPcap wires tcpdump-style taps on both hosts.
+func attachPcap(tb *experiment.Testbed, prefix string) []func() {
+	var closers []func()
+	mk := func(suffix string) *pcap.Writer {
+		f, err := os.Create(prefix + "-" + suffix + ".pcap")
+		exitOn(err)
+		w, err := pcap.NewWriter(f)
+		exitOn(err)
+		closers = append(closers, func() {
+			fmt.Printf("wrote %s-%s.pcap (%d packets)\n", prefix, suffix, w.Packets)
+			f.Close()
+		})
+		return w
+	}
+	tb.Client.AddTap(trace.PcapTap(mk("client")))
+	tb.Server.AddTap(trace.PcapTap(mk("server")))
+	return closers
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mptcpsim:", err)
+		os.Exit(1)
+	}
+}

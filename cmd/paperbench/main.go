@@ -1,0 +1,160 @@
+// Command paperbench regenerates the paper's tables and figures.
+//
+// Text mode prints paper-style tables; csv/json modes emit
+// machine-readable per-cell records (plus CCDF series for the
+// latency-distribution figures) for external plotting.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"mptcplab/internal/experiment"
+	"mptcplab/internal/units"
+)
+
+func main() {
+	var (
+		which  = flag.String("experiment", "all", "comma-separated: fig2,fig4,fig6,fig8,fig9,fig11,fig12,all (aliases: fig3/table2->fig2, fig5/table3->fig4, fig7/table4->fig6, fig10/table5->fig9, fig13/table6->fig12)")
+		reps   = flag.Int("reps", 5, "repetitions per configuration cell")
+		seed   = flag.Int64("seed", 1, "campaign seed")
+		quick  = flag.Bool("quick", false, "scale the infinite-backlog size down for fast runs")
+		format = flag.String("format", "text", "output format: text | csv | json")
+		outp   = flag.String("o", "", "write output to file instead of stdout")
+		prog   = flag.Bool("progress", false, "print run progress to stderr")
+	)
+	flag.Parse()
+
+	opts := experiment.CampaignOpts{Reps: *reps, Seed: *seed, SampleProfiles: true}
+	if *prog {
+		opts.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+
+	sel := map[string]bool{}
+	for _, s := range strings.Split(*which, ",") {
+		sel[strings.TrimSpace(s)] = true
+	}
+	want := func(names ...string) bool {
+		if sel["all"] {
+			return true
+		}
+		for _, n := range names {
+			if sel[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	var w io.Writer = os.Stdout
+	if *outp != "" {
+		f, err := os.Create(*outp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	type campaign struct {
+		run     func() *experiment.Matrix
+		text    func(io.Writer, *experiment.Matrix)
+		distrib bool
+	}
+	timesShareChars := func(w io.Writer, m *experiment.Matrix) {
+		experiment.WriteDownloadTimes(w, m)
+		experiment.WriteCellShare(w, m)
+		experiment.WritePathCharacteristics(w, m)
+	}
+	var campaigns []campaign
+	if want("fig2", "fig3", "table2") {
+		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.Baseline(opts) }, timesShareChars, false})
+	}
+	if want("fig4", "fig5", "table3") {
+		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.SmallFlows(opts) }, timesShareChars, false})
+	}
+	if want("fig6", "fig7", "table4") {
+		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.CoffeeShop(opts) }, timesShareChars, false})
+	}
+	if want("fig8") {
+		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.SimultaneousSYN(opts) },
+			func(w io.Writer, m *experiment.Matrix) { experiment.WriteDownloadTimes(w, m) }, false})
+	}
+	if want("fig9", "fig10", "table5") {
+		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.LargeFlows(opts) }, timesShareChars, false})
+	}
+	if want("fig11") {
+		size := units.ByteCount(512 * units.MB)
+		if *quick {
+			size = 64 * units.MB
+		}
+		bopts := opts
+		if bopts.Reps > 3 {
+			bopts.Reps = 3
+		}
+		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.Backlog(size, bopts) },
+			func(w io.Writer, m *experiment.Matrix) { experiment.WriteDownloadTimes(w, m) }, false})
+	}
+	if want("fig12", "fig13", "table6") {
+		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.LatencyDistribution(opts) },
+			func(w io.Writer, m *experiment.Matrix) {
+				experiment.WriteRTTCCDF(w, m)
+				experiment.WriteOFOCCDF(w, m)
+				experiment.WriteMPTCPLatencyTable(w, m)
+			}, true})
+	}
+	if len(campaigns) == 0 {
+		fmt.Fprintf(os.Stderr, "paperbench: nothing selected by -experiment %q\n", *which)
+		os.Exit(2)
+	}
+
+	var matrices []*experiment.Matrix
+	var distribs []experiment.DistributionExport
+	for _, c := range campaigns {
+		m := c.run()
+		matrices = append(matrices, m)
+		if *format == "text" {
+			c.text(w, m)
+		}
+		if c.distrib {
+			distribs = append(distribs, m.ExportDistributions()...)
+		}
+	}
+
+	switch *format {
+	case "text":
+		fmt.Fprintln(w, "\ndone.")
+	case "csv":
+		if err := experiment.WriteCSV(w, matrices...); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+	case "json":
+		out := struct {
+			Cells         []experiment.CellExport         `json:"cells"`
+			Distributions []experiment.DistributionExport `json:"distributions,omitempty"`
+		}{Distributions: distribs}
+		for _, m := range matrices {
+			out.Cells = append(out.Cells, m.Export()...)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "paperbench: unknown format %q\n", *format)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,25 @@
+// Package mptcplab is a from-scratch Go reproduction of "A
+// Measurement-based Study of MultiPath TCP Performance over Wireless
+// Networks" (Chen, Lim, Gibbens, Nahum, Khalili, Towsley — IMC 2013).
+//
+// The paper measured Linux MPTCP v0.86 over real WiFi and cellular
+// carriers; this repository rebuilds the whole stack on a
+// deterministic packet-level simulator — TCP New Reno with SACK, MPTCP
+// with its coupled/olia/reno congestion controllers and lowest-RTT
+// scheduler, calibrated WiFi/LTE/3G path models with bufferbloat and
+// link-layer ARQ, an HTTP-like workload layer, and a pcap/tcptrace
+// analysis pipeline — and regenerates every table and figure of the
+// paper's evaluation.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The benchmarks in bench_test.go regenerate each experiment:
+//
+//	go test -bench=Fig2 -benchtime=1x .
+//
+// Executables:
+//
+//	cmd/mptcpsim   - run one measured download (optionally with pcap capture)
+//	cmd/paperbench - regenerate all tables and figures
+//	cmd/tracestat  - analyze captures, tcptrace-style
+package mptcplab

@@ -1,0 +1,3 @@
+module mptcplab
+
+go 1.22

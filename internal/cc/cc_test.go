@@ -1,0 +1,219 @@
+package cc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// fakeFlow is a controllable cc.Flow for unit tests.
+type fakeFlow struct {
+	cwnd        float64
+	srtt        float64
+	established bool
+	l1, l2      int64
+}
+
+func (f *fakeFlow) Cwnd() float64                { return f.cwnd }
+func (f *fakeFlow) SRTT() float64                { return f.srtt }
+func (f *fakeFlow) Established() bool            { return f.established }
+func (f *fakeFlow) AckedSinceLoss() int64        { return f.l1 }
+func (f *fakeFlow) AckedPrevLossInterval() int64 { return f.l2 }
+
+func flows(fs ...*fakeFlow) []Flow {
+	out := make([]Flow, len(fs))
+	for i, f := range fs {
+		out[i] = f
+	}
+	return out
+}
+
+func TestNew(t *testing.T) {
+	for _, name := range Names() {
+		c, err := New(name)
+		if err != nil {
+			t.Fatalf("New(%q): %v", name, err)
+		}
+		if c.Name() != name {
+			t.Errorf("New(%q).Name() = %q", name, c.Name())
+		}
+	}
+	if c, err := New("lia"); err != nil || c.Name() != "coupled" {
+		t.Error("alias lia not accepted")
+	}
+	if _, err := New("cubic"); err == nil {
+		t.Error("unknown controller accepted")
+	}
+}
+
+func TestRenoIncreaseIsOnePacketPerRTT(t *testing.T) {
+	f := &fakeFlow{cwnd: 10, srtt: 0.05, established: true}
+	fs := flows(f)
+	// w ACKs of one packet each should add ~1 packet total.
+	var total float64
+	for i := 0; i < 10; i++ {
+		total += (Reno{}).Increase(fs, 0, 1)
+	}
+	if math.Abs(total-1.0) > 1e-9 {
+		t.Errorf("reno per-RTT increase = %f, want 1", total)
+	}
+}
+
+func TestAllControllersHalveOnLoss(t *testing.T) {
+	for _, name := range Names() {
+		c, _ := New(name)
+		f := &fakeFlow{cwnd: 20, srtt: 0.05, established: true}
+		if got := c.OnLoss(flows(f), 0); got != 10 {
+			t.Errorf("%s.OnLoss(20) = %f, want 10", name, got)
+		}
+		f.cwnd = 1.2
+		if got := c.OnLoss(flows(f), 0); got != 1 {
+			t.Errorf("%s.OnLoss(1.2) = %f, want floor 1", name, got)
+		}
+	}
+}
+
+func TestCoupledReducesToRenoForSingleFlow(t *testing.T) {
+	f := &fakeFlow{cwnd: 17, srtt: 0.08, established: true}
+	fs := flows(f)
+	r := (Reno{}).Increase(fs, 0, 1)
+	c := (Coupled{}).Increase(fs, 0, 1)
+	o := (OLIA{}).Increase(fs, 0, 1)
+	if math.Abs(r-c) > 1e-12 {
+		t.Errorf("coupled single-flow %g != reno %g", c, r)
+	}
+	if math.Abs(r-o) > 1e-12 {
+		t.Errorf("olia single-flow %g != reno %g", o, r)
+	}
+}
+
+func TestCoupledNeverExceedsReno(t *testing.T) {
+	// RFC 6356: the min() caps any flow's increase at the uncoupled
+	// TCP increase.
+	f := func(w1, w2 uint16, r1, r2 uint8) bool {
+		a := &fakeFlow{cwnd: 1 + float64(w1%500), srtt: 0.01 + float64(r1)/100, established: true}
+		b := &fakeFlow{cwnd: 1 + float64(w2%500), srtt: 0.01 + float64(r2)/100, established: true}
+		fs := flows(a, b)
+		for i := range fs {
+			inc := (Coupled{}).Increase(fs, i, 1)
+			reno := (Reno{}).Increase(fs, i, 1)
+			if inc > reno+1e-12 {
+				return false
+			}
+			if inc < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoupledAggregateMatchesBestPath(t *testing.T) {
+	// With equal RTTs, coupled's aggregate increase per round trip
+	// should approximate one packet (a single TCP on the best path).
+	a := &fakeFlow{cwnd: 30, srtt: 0.05, established: true}
+	b := &fakeFlow{cwnd: 30, srtt: 0.05, established: true}
+	fs := flows(a, b)
+	var total float64
+	// One RTT: each flow receives cwnd ACKs.
+	for i := 0; i < 30; i++ {
+		total += (Coupled{}).Increase(fs, 0, 1)
+		total += (Coupled{}).Increase(fs, 1, 1)
+	}
+	if total < 0.4 || total > 1.2 {
+		t.Errorf("coupled aggregate increase per RTT = %f, want ≈1 (single-TCP equivalent)", total)
+	}
+}
+
+func TestCoupledIgnoresUnestablishedFlows(t *testing.T) {
+	a := &fakeFlow{cwnd: 10, srtt: 0.05, established: true}
+	b := &fakeFlow{cwnd: 10, srtt: 0.05, established: false} // handshaking
+	inc := (Coupled{}).Increase(flows(a, b), 0, 1)
+	reno := (Reno{}).Increase(flows(a), 0, 1)
+	if math.Abs(inc-reno) > 1e-12 {
+		t.Errorf("increase %g with dead sibling, want reno %g", inc, reno)
+	}
+}
+
+func TestOLIASingleFlowMatchesReno(t *testing.T) {
+	f := &fakeFlow{cwnd: 25, srtt: 0.1, established: true, l1: 1 << 20}
+	got := (OLIA{}).Increase(flows(f), 0, 1)
+	want := 1.0 / 25
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("olia single flow = %g, want %g", got, want)
+	}
+}
+
+func TestOLIAAlphaShiftsTowardBestUnderusedPath(t *testing.T) {
+	// Path a: excellent recent goodput (large l) but small window.
+	// Path b: max window. Alpha must be positive for a, negative for b.
+	a := &fakeFlow{cwnd: 5, srtt: 0.03, established: true, l1: 10 << 20}
+	b := &fakeFlow{cwnd: 50, srtt: 0.03, established: true, l1: 1 << 10}
+	fs := flows(a, b)
+
+	alphaA := oliaAlpha([]Flow{a, b}, a)
+	alphaB := oliaAlpha([]Flow{a, b}, b)
+	if alphaA <= 0 {
+		t.Errorf("alpha(best, small-w) = %g, want > 0", alphaA)
+	}
+	if alphaB >= 0 {
+		t.Errorf("alpha(max-w) = %g, want < 0", alphaB)
+	}
+	// Conservation: transfers cancel.
+	if math.Abs(alphaA+alphaB) > 1e-12 {
+		t.Errorf("alpha sum = %g, want 0", alphaA+alphaB)
+	}
+	// And the increase of b never drives the window negative-ward
+	// faster than its base term.
+	inc := (OLIA{}).Increase(fs, 1, 1)
+	if inc < -1 {
+		t.Errorf("olia increase %g implausibly negative", inc)
+	}
+}
+
+func TestOLIAAlphaZeroWhenBestHasMaxWindow(t *testing.T) {
+	// The best path already has the max window: no transfer (the
+	// "collected" set is empty).
+	a := &fakeFlow{cwnd: 50, srtt: 0.03, established: true, l1: 10 << 20}
+	b := &fakeFlow{cwnd: 5, srtt: 0.03, established: true, l1: 1 << 10}
+	if alpha := oliaAlpha([]Flow{a, b}, a); alpha != 0 {
+		t.Errorf("alpha = %g, want 0", alpha)
+	}
+	if alpha := oliaAlpha([]Flow{a, b}, b); alpha != 0 {
+		t.Errorf("alpha = %g, want 0", alpha)
+	}
+}
+
+func TestOLIAAlphaConservationProperty(t *testing.T) {
+	// Sum of alphas across flows is always ~0: OLIA moves window
+	// between paths without inflating the total.
+	f := func(w1, w2, w3 uint16, l1a, l1b, l1c uint32) bool {
+		a := &fakeFlow{cwnd: 1 + float64(w1%300), srtt: 0.02, established: true, l1: int64(l1a)}
+		b := &fakeFlow{cwnd: 1 + float64(w2%300), srtt: 0.05, established: true, l1: int64(l1b)}
+		c := &fakeFlow{cwnd: 1 + float64(w3%300), srtt: 0.15, established: true, l1: int64(l1c)}
+		fs := []Flow{a, b, c}
+		sum := oliaAlpha(fs, a) + oliaAlpha(fs, b) + oliaAlpha(fs, c)
+		return math.Abs(sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIncreaseScalesWithAckedPackets(t *testing.T) {
+	// Delayed ACKs cover 2 packets: increase doubles accordingly.
+	for _, name := range Names() {
+		c, _ := New(name)
+		a := &fakeFlow{cwnd: 20, srtt: 0.05, established: true, l1: 1000}
+		b := &fakeFlow{cwnd: 30, srtt: 0.08, established: true, l1: 2000}
+		fs := flows(a, b)
+		one := c.Increase(fs, 0, 1)
+		two := c.Increase(fs, 0, 2)
+		if math.Abs(two-2*one) > 1e-9 {
+			t.Errorf("%s: Increase(2) = %g, want 2*Increase(1) = %g", name, two, 2*one)
+		}
+	}
+}

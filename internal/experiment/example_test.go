@@ -1,0 +1,46 @@
+package experiment_test
+
+import (
+	"fmt"
+
+	"mptcplab/internal/experiment"
+	"mptcplab/internal/pathmodel"
+	"mptcplab/internal/units"
+)
+
+// The basic measurement unit: one download on a fresh Figure-1
+// testbed. Everything is deterministic given the seed.
+func Example() {
+	tb := experiment.NewTestbed(experiment.TestbedConfig{
+		WiFi:      pathmodel.ComcastHome(),
+		Cell:      pathmodel.ATT(),
+		WarmRadio: true,
+		Seed:      42,
+	})
+	res := tb.Run(experiment.RunConfig{
+		Transport:  experiment.MP2,
+		Controller: "coupled",
+		Size:       4 * units.MB,
+	})
+	fmt.Printf("completed: %v\n", res.Completed)
+	fmt.Printf("subflows: %d\n", res.Subflows)
+	fmt.Printf("cellular share above 50%%: %v\n", res.CellShare() > 0.5)
+	// Output:
+	// completed: true
+	// subflows: 2
+	// cellular share above 50%: true
+}
+
+// Campaigns aggregate repeated runs into the paper's figures.
+func ExampleSimultaneousSYN() {
+	m := experiment.SimultaneousSYN(experiment.CampaignOpts{
+		Reps: 2, Seed: 7, SampleProfiles: true,
+	})
+	// The matrix has one row per configuration, one column per size.
+	fmt.Println(len(m.Rows), "configs x", len(m.Sizes), "sizes")
+	c := m.Cell("MP-2 delayed-SYN", 512*units.KB)
+	fmt.Println("samples per cell:", c.Times.N())
+	// Output:
+	// 2 configs x 4 sizes
+	// samples per cell: 2
+}

@@ -1,0 +1,127 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"mptcplab/internal/pathmodel"
+	"mptcplab/internal/units"
+)
+
+// smallMatrix runs a tiny real campaign once for the export tests.
+func smallMatrix(t *testing.T) *Matrix {
+	t.Helper()
+	opts := CampaignOpts{Reps: 2, Seed: 3, SampleProfiles: true}
+	m := SimultaneousSYN(opts)
+	return m
+}
+
+func TestExportRecords(t *testing.T) {
+	m := smallMatrix(t)
+	recs := m.Export()
+	if len(recs) != len(m.Rows)*len(m.Sizes) {
+		t.Fatalf("exported %d records, want %d", len(recs), len(m.Rows)*len(m.Sizes))
+	}
+	for _, r := range recs {
+		if r.Experiment != "fig8" {
+			t.Errorf("experiment = %q", r.Experiment)
+		}
+		if r.N != 2 || r.Failures != 0 {
+			t.Errorf("n=%d failures=%d", r.N, r.Failures)
+		}
+		if !(r.TimeMin <= r.TimeMedian && r.TimeMedian <= r.TimeMax) {
+			t.Errorf("box summary out of order: %+v", r)
+		}
+	}
+}
+
+func TestWriteCSVParsesBack(t *testing.T) {
+	m := smallMatrix(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	rd := csv.NewReader(&buf)
+	rows, err := rd.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(m.Export()) {
+		t.Errorf("csv has %d rows, want header+%d", len(rows), len(m.Export()))
+	}
+	if len(rows[0]) != len(rows[1]) {
+		t.Errorf("header has %d cols, data %d", len(rows[0]), len(rows[1]))
+	}
+}
+
+func TestWriteJSONParsesBack(t *testing.T) {
+	m := smallMatrix(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	var recs []CellExport
+	if err := json.Unmarshal(buf.Bytes(), &recs); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(m.Export()) {
+		t.Errorf("json has %d records", len(recs))
+	}
+}
+
+func TestExportDistributionsMonotone(t *testing.T) {
+	opts := CampaignOpts{Reps: 1, Seed: 5, SampleProfiles: true}
+	m := runMatrix("t", "t", []RowSpec{{
+		Label: "MP-2", WiFi: baselineWiFi(), Cell: baselineCell(),
+		Make: mp(MP2, "coupled"),
+	}}, []units.ByteCount{2 * units.MB}, opts)
+	ds := m.ExportDistributions()
+	if len(ds) == 0 {
+		t.Fatal("no distributions")
+	}
+	for _, d := range ds {
+		if len(d.CCDF) != len(d.Thresholds) {
+			t.Fatalf("%s: ccdf/threshold length mismatch", d.Metric)
+		}
+		for i := 1; i < len(d.CCDF); i++ {
+			if d.CCDF[i] > d.CCDF[i-1]+1e-12 {
+				t.Errorf("%s: CCDF not monotone at %d", d.Metric, i)
+			}
+		}
+	}
+}
+
+func TestReportWritersProduceTables(t *testing.T) {
+	m := smallMatrix(t)
+	var buf bytes.Buffer
+	WriteDownloadTimes(&buf, m)
+	if !strings.Contains(buf.String(), "MP-2 delayed-SYN") {
+		t.Error("download-time table missing rows")
+	}
+	buf.Reset()
+	WriteCellShare(&buf, m)
+	if !strings.Contains(buf.String(), "%") {
+		t.Error("share table missing values")
+	}
+
+	lat := runMatrix("t2", "t2", []RowSpec{{
+		Label: "MP-x", WiFi: baselineWiFi(), Cell: baselineCell(),
+		Make: mp(MP2, "coupled"),
+	}}, []units.ByteCount{2 * units.MB}, CampaignOpts{Reps: 1, Seed: 9, SampleProfiles: true})
+	buf.Reset()
+	WriteRTTCCDF(&buf, lat)
+	WriteOFOCCDF(&buf, lat)
+	WriteMPTCPLatencyTable(&buf, lat)
+	out := buf.String()
+	for _, want := range []string{"fig12", "fig13", "table6", "thresholds"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("latency report missing %q", want)
+		}
+	}
+}
+
+func baselineWiFi() pathmodel.Profile { return pathmodel.ComcastHome() }
+func baselineCell() pathmodel.Profile { return pathmodel.ATT() }

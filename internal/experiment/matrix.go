@@ -1,0 +1,175 @@
+package experiment
+
+import (
+	"mptcplab/internal/pathmodel"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/stats"
+	"mptcplab/internal/units"
+)
+
+// Cell aggregates repeated runs of one (configuration, size) pair.
+type Cell struct {
+	Config RunConfig
+
+	Times    *stats.Sample // download times, seconds
+	Share    *stats.Sample // cellular traffic share per run
+	WiFiLoss *stats.Sample // per-run WiFi loss rate, percent
+	CellLoss *stats.Sample // per-run cellular loss rate, percent
+	WiFiRTT  *stats.Sample // pooled per-packet WiFi RTTs, ms
+	CellRTT  *stats.Sample // pooled per-packet cellular RTTs, ms
+	OFO      *stats.Sample // pooled out-of-order delays, ms
+
+	Failures  int
+	Penalties uint64
+}
+
+func newCell(rc RunConfig) *Cell {
+	return &Cell{
+		Config:   rc,
+		Times:    stats.New(),
+		Share:    stats.New(),
+		WiFiLoss: stats.New(),
+		CellLoss: stats.New(),
+		WiFiRTT:  stats.New(),
+		CellRTT:  stats.New(),
+		OFO:      stats.New(),
+	}
+}
+
+func (c *Cell) absorb(res RunResult) {
+	if !res.Completed {
+		c.Failures++
+		return
+	}
+	c.Times.Add(res.DownloadTime.Seconds())
+	c.Share.Add(res.CellShare())
+	c.WiFiLoss.Add(res.WiFiLossRate() * 100)
+	c.CellLoss.Add(res.CellLossRate() * 100)
+	c.WiFiRTT.AddAll(res.WiFiRTTms)
+	c.CellRTT.AddAll(res.CellRTTms)
+	c.OFO.AddAll(res.OFOms)
+	c.Penalties += res.Penalties
+}
+
+// RowSpec describes one figure row: a labeled configuration over a
+// particular pair of access networks.
+type RowSpec struct {
+	Label string
+	WiFi  pathmodel.Profile
+	Cell  pathmodel.Profile
+	// Make builds the run configuration for a given file size.
+	Make func(size units.ByteCount) RunConfig
+}
+
+// Matrix is the generic result grid behind the paper's figures: one
+// row per configuration, one column per file size.
+type Matrix struct {
+	ID    string
+	Title string
+	Sizes []units.ByteCount
+	Rows  []MatrixRow
+}
+
+// MatrixRow is one configuration's cells across the sizes.
+type MatrixRow struct {
+	Label string
+	Cells []*Cell // parallel to Matrix.Sizes
+}
+
+// Cell looks up a row/size cell; nil if absent.
+func (m *Matrix) Cell(rowLabel string, size units.ByteCount) *Cell {
+	for _, r := range m.Rows {
+		if r.Label != rowLabel {
+			continue
+		}
+		for i, s := range m.Sizes {
+			if s == size {
+				return r.Cells[i]
+			}
+		}
+	}
+	return nil
+}
+
+// Row looks up a row by label; nil if absent.
+func (m *Matrix) Row(label string) *MatrixRow {
+	for i := range m.Rows {
+		if m.Rows[i].Label == label {
+			return &m.Rows[i]
+		}
+	}
+	return nil
+}
+
+// CampaignOpts tunes a measurement campaign.
+type CampaignOpts struct {
+	// Reps is the number of repetitions per cell (the paper performs
+	// 20 per time period; benchmarks use fewer).
+	Reps int
+	// Seed drives all randomness; equal seeds reproduce campaigns
+	// exactly.
+	Seed int64
+	// SampleProfiles applies per-run network variation (§3.2's
+	// temporal and spatial randomization). On by default in scenarios.
+	SampleProfiles bool
+	// Periods cycles repetitions through the paper's four times of
+	// day (§3.2), applying diurnal load multipliers. Off by default:
+	// the published EXPERIMENTS.md campaign uses Spread-only
+	// variation; enable for the time-of-day study.
+	Periods bool
+	// Progress, if set, is invoked after each completed run.
+	Progress func(done, total int)
+}
+
+func (o CampaignOpts) reps() int {
+	if o.Reps <= 0 {
+		return 5
+	}
+	return o.Reps
+}
+
+// runMatrix executes the full grid. Mirroring §3.2, the order of all
+// (row, size, repetition) runs is randomized before execution; each
+// run gets an independent testbed seeded deterministically from the
+// campaign seed.
+func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts CampaignOpts) *Matrix {
+	m := &Matrix{ID: id, Title: title, Sizes: sizes}
+	type job struct {
+		row, col, rep int
+	}
+	var jobs []job
+	for ri := range rows {
+		cells := make([]*Cell, len(sizes))
+		for ci, size := range sizes {
+			cells[ci] = newCell(rows[ri].Make(size))
+			for rep := 0; rep < opts.reps(); rep++ {
+				jobs = append(jobs, job{ri, ci, rep})
+			}
+		}
+		m.Rows = append(m.Rows, MatrixRow{Label: rows[ri].Label, Cells: cells})
+	}
+
+	order := sim.NewRNG(opts.Seed ^ 0x5eed)
+	order.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+
+	for k, j := range jobs {
+		row := rows[j.row]
+		cell := m.Rows[j.row].Cells[j.col]
+		seed := opts.Seed + int64(j.row)*1_000_003 + int64(j.col)*7919 + int64(j.rep)*104729
+		tb := NewTestbed(TestbedConfig{
+			WiFi:              row.WiFi,
+			Cell:              row.Cell,
+			ServerSecondIface: cell.Config.Transport == MP4,
+			SampleProfiles:    opts.SampleProfiles,
+			UsePeriod:         opts.Periods,
+			Period:            pathmodel.AllPeriods[j.rep%len(pathmodel.AllPeriods)],
+			WarmRadio:         true,
+			Seed:              seed,
+		})
+		cell.absorb(tb.Run(cell.Config))
+		if opts.Progress != nil {
+			opts.Progress(k+1, len(jobs))
+		}
+	}
+	return m
+}

@@ -1,0 +1,231 @@
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"mptcplab/internal/stats"
+	"mptcplab/internal/units"
+	"mptcplab/internal/viz"
+)
+
+// WriteDownloadTimes renders a Matrix as the paper's download-time
+// figures: one box-and-whisker summary per (configuration, size).
+func WriteDownloadTimes(w io.Writer, m *Matrix) {
+	fmt.Fprintf(w, "== %s: %s ==\n", m.ID, m.Title)
+	fmt.Fprintf(w, "download time, seconds (min | Q1 median Q3 | max)\n")
+	for _, size := range m.Sizes {
+		fmt.Fprintf(w, "\n-- %v --\n", size)
+		plot := &viz.BoxPlot{Unit: "s", Width: 56, Log: true}
+		for _, row := range m.Rows {
+			c := mustCell(m, row.Label, size)
+			b := c.Times.BoxSummary()
+			fmt.Fprintf(w, "  %-26s %s", row.Label, b)
+			if c.Failures > 0 {
+				fmt.Fprintf(w, "  (%d failed)", c.Failures)
+			}
+			fmt.Fprintln(w)
+			if b.N > 0 {
+				plot.Add(row.Label, b)
+			}
+		}
+		fmt.Fprintln(w)
+		plot.Render(w)
+	}
+}
+
+// WriteCellShare renders the fraction of traffic carried by the
+// cellular path (Figures 3, 5, 7, 10).
+func WriteCellShare(w io.Writer, m *Matrix) {
+	fmt.Fprintf(w, "== %s: cellular traffic share ==\n", m.ID)
+	fmt.Fprintf(w, "%-26s", "config")
+	for _, size := range m.Sizes {
+		fmt.Fprintf(w, " %9v", size)
+	}
+	fmt.Fprintln(w)
+	for _, row := range m.Rows {
+		if !strings.HasPrefix(row.Label, "MP") {
+			continue
+		}
+		fmt.Fprintf(w, "%-26s", row.Label)
+		for _, size := range m.Sizes {
+			c := mustCell(m, row.Label, size)
+			fmt.Fprintf(w, " %8.1f%%", c.Share.Mean()*100)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WritePathCharacteristics renders the per-path loss and RTT tables
+// (Tables 2, 3, 4, 5) from the matrix's single-path rows.
+func WritePathCharacteristics(w io.Writer, m *Matrix) {
+	fmt.Fprintf(w, "== %s: path characteristics (single-path rows; mean±stderr) ==\n", m.ID)
+	fmt.Fprintf(w, "%-26s %-10s", "config", "metric")
+	for _, size := range m.Sizes {
+		fmt.Fprintf(w, " %16v", size)
+	}
+	fmt.Fprintln(w)
+	for _, row := range m.Rows {
+		if !strings.HasPrefix(row.Label, "SP") {
+			continue
+		}
+		fmt.Fprintf(w, "%-26s %-10s", row.Label, "loss(%)")
+		for _, size := range m.Sizes {
+			c := mustCell(m, row.Label, size)
+			fmt.Fprintf(w, " %16s", lossStr(c, row.Label))
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "%-26s %-10s", "", "RTT(ms)")
+		for _, size := range m.Sizes {
+			c := mustCell(m, row.Label, size)
+			fmt.Fprintf(w, " %16s", rttStr(c, row.Label))
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func lossStr(c *Cell, label string) string {
+	s := c.WiFiLoss
+	if strings.Contains(label, "SP-") && label != "SP-WiFi" {
+		s = c.CellLoss
+	}
+	if s.Mean() < 0.03 {
+		return "~"
+	}
+	return s.MeanStderr()
+}
+
+func rttStr(c *Cell, label string) string {
+	s := c.WiFiRTT
+	if strings.Contains(label, "SP-") && label != "SP-WiFi" {
+		s = c.CellRTT
+	}
+	return s.MeanStderr()
+}
+
+// WriteRTTCCDF renders Figure 12: per-carrier, per-size CCDFs of
+// packet RTTs over the cellular and WiFi paths of MPTCP connections,
+// at logarithmically spaced thresholds, with a chart per size.
+func WriteRTTCCDF(w io.Writer, m *Matrix) {
+	fmt.Fprintf(w, "== fig12: packet RTT CCDF, P(RTT > t ms) ==\n")
+	// Charts: one per size, series per (carrier, path).
+	chartT := stats.LogSpace(10, 4000, 40)
+	for _, size := range m.Sizes {
+		chart := &viz.LineChart{
+			Title:  fmt.Sprintf("-- %v: packet RTT CCDF (log x) --", size),
+			XLabel: "RTT ms", YLabel: "P(RTT>x)",
+			Width: 64, Height: 12, XLog: true,
+		}
+		for _, row := range m.Rows {
+			c := mustCell(m, row.Label, size)
+			if c.CellRTT.N() > 0 {
+				chart.AddSeries(row.Label+"/cell", chartT, c.CellRTT.CCDF(chartT))
+			}
+		}
+		if c := mustCell(m, m.Rows[0].Label, size); c.WiFiRTT.N() > 0 {
+			chart.AddSeries("wifi", chartT, c.WiFiRTT.CCDF(chartT))
+		}
+		chart.Render(w)
+		fmt.Fprintln(w)
+	}
+	thresholds := stats.LogSpace(10, 4000, 10)
+	for _, row := range m.Rows {
+		for _, size := range m.Sizes {
+			c := mustCell(m, row.Label, size)
+			for _, path := range []struct {
+				name string
+				s    *stats.Sample
+			}{{"cell", c.CellRTT}, {"wifi", c.WiFiRTT}} {
+				if path.s.N() == 0 {
+					continue
+				}
+				fmt.Fprintf(w, "%-14s %-5s %8v n=%-7d", row.Label, path.name, size, path.s.N())
+				for _, p := range path.s.CCDF(thresholds) {
+					fmt.Fprintf(w, " %6.3f", p)
+				}
+				fmt.Fprintln(w)
+			}
+		}
+	}
+	fmt.Fprintf(w, "thresholds(ms):%v\n", fmtThresholds(thresholds))
+}
+
+// WriteOFOCCDF renders Figure 13: out-of-order delay CCDFs.
+func WriteOFOCCDF(w io.Writer, m *Matrix) {
+	fmt.Fprintf(w, "== fig13: out-of-order delay CCDF, P(delay > t ms) ==\n")
+	chartT := append([]float64{0.5}, stats.LogSpace(1, 2000, 40)...)
+	for _, size := range m.Sizes {
+		chart := &viz.LineChart{
+			Title:  fmt.Sprintf("-- %v: out-of-order delay CCDF (log x) --", size),
+			XLabel: "delay ms", YLabel: "P(d>x)",
+			Width: 64, Height: 12, XLog: true,
+		}
+		for _, row := range m.Rows {
+			c := mustCell(m, row.Label, size)
+			if c.OFO.N() > 0 {
+				chart.AddSeries(row.Label, chartT, c.OFO.CCDF(chartT))
+			}
+		}
+		chart.Render(w)
+		fmt.Fprintln(w)
+	}
+	thresholds := append([]float64{0}, stats.LogSpace(1, 2000, 9)...)
+	for _, row := range m.Rows {
+		for _, size := range m.Sizes {
+			c := mustCell(m, row.Label, size)
+			if c.OFO.N() == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "%-14s %8v n=%-8d", row.Label, size, c.OFO.N())
+			for _, p := range c.OFO.CCDF(thresholds) {
+				fmt.Fprintf(w, " %6.3f", p)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "thresholds(ms):%v\n", fmtThresholds(thresholds))
+}
+
+// WriteMPTCPLatencyTable renders Table 6: per-carrier MPTCP RTT and
+// out-of-order delay, mean ± stderr.
+func WriteMPTCPLatencyTable(w io.Writer, m *Matrix) {
+	fmt.Fprintf(w, "== table6: MPTCP RTT and OFO delay (mean±stderr, ms) ==\n")
+	fmt.Fprintf(w, "%-14s %-8s", "config", "metric")
+	for _, size := range m.Sizes {
+		fmt.Fprintf(w, " %16v", size)
+	}
+	fmt.Fprintln(w)
+	for _, row := range m.Rows {
+		for _, metric := range []struct {
+			name string
+			get  func(*Cell) *stats.Sample
+		}{
+			{"RTT-cell", func(c *Cell) *stats.Sample { return c.CellRTT }},
+			{"RTT-wifi", func(c *Cell) *stats.Sample { return c.WiFiRTT }},
+			{"OFO", func(c *Cell) *stats.Sample { return c.OFO }},
+		} {
+			fmt.Fprintf(w, "%-14s %-8s", row.Label, metric.name)
+			for _, size := range m.Sizes {
+				fmt.Fprintf(w, " %16s", metric.get(mustCell(m, row.Label, size)).MeanStderr())
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+func fmtThresholds(ts []float64) string {
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = fmt.Sprintf("%.0f", t)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func mustCell(m *Matrix, label string, size units.ByteCount) *Cell {
+	c := m.Cell(label, size)
+	if c == nil {
+		panic(fmt.Sprintf("experiment: missing cell %q/%v in %s", label, size, m.ID))
+	}
+	return c
+}

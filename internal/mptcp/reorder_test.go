@@ -1,0 +1,161 @@
+package mptcp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mptcplab/internal/sim"
+)
+
+func TestReorderInOrderDelivery(t *testing.T) {
+	rb := NewReorderBuffer(1)
+	var delivered int64
+	rb.OnDeliver = func(n int64) { delivered += n }
+	samples := []sim.Time{}
+	rb.OnSample = func(d sim.Time, sf int) { samples = append(samples, d) }
+
+	rb.Insert(10, 1, 101, 0)
+	rb.Insert(20, 101, 201, 0)
+	if delivered != 200 {
+		t.Errorf("delivered %d, want 200", delivered)
+	}
+	if rb.Buffered != 0 {
+		t.Errorf("buffered %d", rb.Buffered)
+	}
+	for _, s := range samples {
+		if s != 0 {
+			t.Errorf("in-order packet got OFO delay %v", s)
+		}
+	}
+	if rb.PacketsInOrder != 2 || rb.PacketsOutOrder != 0 {
+		t.Errorf("counters %d/%d", rb.PacketsInOrder, rb.PacketsOutOrder)
+	}
+}
+
+func TestReorderHoleDelaysDelivery(t *testing.T) {
+	rb := NewReorderBuffer(1)
+	var delivered int64
+	rb.OnDeliver = func(n int64) { delivered += n }
+	var ofo []sim.Time
+	rb.OnSample = func(d sim.Time, sf int) {
+		if d > 0 {
+			ofo = append(ofo, d)
+		}
+	}
+
+	rb.Insert(100*sim.Millisecond, 101, 201, 1) // future data from subflow 1
+	if delivered != 0 {
+		t.Fatalf("delivered %d before hole filled", delivered)
+	}
+	if rb.Buffered != 100 || rb.SubflowOFOBytes(1) != 100 {
+		t.Errorf("OFO accounting: buffered=%d sf1=%d", rb.Buffered, rb.SubflowOFOBytes(1))
+	}
+	rb.Insert(250*sim.Millisecond, 1, 101, 0) // the hole
+	if delivered != 200 {
+		t.Errorf("delivered %d, want 200", delivered)
+	}
+	if len(ofo) != 1 || ofo[0] != 150*sim.Millisecond {
+		t.Errorf("OFO samples %v, want one sample of 150ms", ofo)
+	}
+	if rb.SubflowOFOBytes(1) != 0 {
+		t.Errorf("subflow OFO not drained: %d", rb.SubflowOFOBytes(1))
+	}
+}
+
+func TestReorderDuplicatesIgnored(t *testing.T) {
+	rb := NewReorderBuffer(1)
+	var delivered int64
+	rb.OnDeliver = func(n int64) { delivered += n }
+
+	rb.Insert(1, 1, 101, 0)
+	rb.Insert(2, 1, 101, 0)   // full duplicate of delivered data
+	rb.Insert(3, 51, 101, 0)  // partial duplicate
+	rb.Insert(4, 201, 301, 1) // future
+	rb.Insert(5, 201, 301, 1) // duplicate future
+	rb.Insert(6, 151, 251, 0) // overlaps buffered future block
+	if rb.Buffered != 150 {
+		t.Errorf("buffered %d, want 150 (151..301 minus nothing double-counted)", rb.Buffered)
+	}
+	rb.Insert(7, 101, 151, 0) // heal
+	if delivered != 300 {
+		t.Errorf("delivered %d, want 300", delivered)
+	}
+	if rb.Buffered != 0 {
+		t.Errorf("buffered %d after heal", rb.Buffered)
+	}
+}
+
+// Property: any arrival permutation of a segmented stream delivers
+// every byte exactly once, in order, with zero residue.
+func TestReorderExactlyOncePropertyRandomPermutation(t *testing.T) {
+	f := func(seed int64, nSegs uint8) bool {
+		n := int(nSegs%40) + 2
+		segSize := uint64(100)
+		rng := sim.NewRNG(seed)
+
+		type span struct{ start, end uint64 }
+		spans := make([]span, n)
+		for i := range spans {
+			spans[i] = span{1 + uint64(i)*segSize, 1 + uint64(i+1)*segSize}
+		}
+		rng.Shuffle(len(spans), func(i, j int) { spans[i], spans[j] = spans[j], spans[i] })
+		// Duplicate a few arrivals.
+		dups := spans
+		if n > 4 {
+			dups = append(dups, spans[0], spans[n/2])
+		}
+
+		rb := NewReorderBuffer(1)
+		var delivered int64
+		rb.OnDeliver = func(k int64) { delivered += k }
+		for i, sp := range dups {
+			rb.Insert(sim.Time(i)*sim.Millisecond, sp.start, sp.end, i%3)
+		}
+		return delivered == int64(n)*int64(segSize) &&
+			rb.Buffered == 0 &&
+			rb.RcvNxt() == 1+uint64(n)*segSize
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: per-subflow OFO accounting never goes negative and drains
+// to zero once the stream completes.
+func TestReorderAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := sim.NewRNG(seed)
+		rb := NewReorderBuffer(0)
+		const segs = 30
+		order := rng.Perm(segs)
+		for i, idx := range order {
+			start := uint64(idx) * 50
+			rb.Insert(sim.Time(i), start, start+50, idx%4)
+			if rb.Buffered < 0 {
+				return false
+			}
+			for sf := 0; sf < 4; sf++ {
+				if rb.SubflowOFOBytes(sf) < 0 {
+					return false
+				}
+			}
+		}
+		return rb.Buffered == 0 && rb.Delivered == segs*50
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReorderMaxBufferedHighWater(t *testing.T) {
+	rb := NewReorderBuffer(0)
+	rb.Insert(1, 100, 200, 0)
+	rb.Insert(2, 300, 500, 0)
+	if rb.MaxBuffered != 300 {
+		t.Errorf("MaxBuffered = %d, want 300", rb.MaxBuffered)
+	}
+	rb.Insert(3, 0, 100, 0)
+	if rb.MaxBuffered != 300 {
+		t.Errorf("MaxBuffered should not shrink: %d", rb.MaxBuffered)
+	}
+}

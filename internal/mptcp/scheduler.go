@@ -1,0 +1,121 @@
+package mptcp
+
+// Scheduler picks which subflow receives the next chunk of unassigned
+// data. The v0.86 default scheduler prefers the established subflow
+// with the lowest smoothed RTT that still has congestion-window space;
+// that policy is what makes the WiFi path the workhorse for small
+// flows (§4.1) and lets the cellular path take over for large ones.
+type Scheduler interface {
+	Name() string
+	// Pick returns the index of the subflow to use next, or -1 when no
+	// subflow can accept data.
+	Pick(subflows []*Subflow) int
+}
+
+// NewScheduler returns the named scheduler ("lowest-rtt",
+// "round-robin", or "backup").
+func NewScheduler(name string) Scheduler {
+	switch name {
+	case "", "lowest-rtt":
+		return &LowestRTT{}
+	case "round-robin":
+		return &RoundRobin{}
+	case "backup":
+		return &BackupMode{}
+	default:
+		return &LowestRTT{}
+	}
+}
+
+// LowestRTT is the Linux MPTCP default scheduler.
+type LowestRTT struct{}
+
+// Name implements Scheduler.
+func (*LowestRTT) Name() string { return "lowest-rtt" }
+
+// Pick implements Scheduler.
+func (*LowestRTT) Pick(subflows []*Subflow) int {
+	best := -1
+	var bestRTT float64
+	for i, sf := range subflows {
+		if !sf.usable() {
+			continue
+		}
+		rtt := sf.EP.SRTT()
+		if best < 0 || rtt < bestRTT {
+			best, bestRTT = i, rtt
+		}
+	}
+	return best
+}
+
+// RoundRobin rotates across usable subflows regardless of RTT — an
+// ablation showing why the default scheduler matters for reordering
+// delay.
+type RoundRobin struct {
+	next int
+}
+
+// Name implements Scheduler.
+func (*RoundRobin) Name() string { return "round-robin" }
+
+// Pick implements Scheduler.
+func (r *RoundRobin) Pick(subflows []*Subflow) int {
+	n := len(subflows)
+	for k := 0; k < n; k++ {
+		i := (r.next + k) % n
+		if subflows[i].usable() {
+			r.next = i + 1
+			return i
+		}
+	}
+	return -1
+}
+
+// BackupMode implements the handover policy of Paasch et al. (CellNet
+// 2012), which the paper cites in §7: backup subflows carry data only
+// while every regular subflow looks dead — not yet established, or
+// with repeated unanswered retransmission timeouts. When a regular
+// path recovers (its next ACK resets the timeout count), traffic moves
+// back automatically.
+type BackupMode struct{}
+
+// DeadAfterTimeouts is the liveness threshold: a subflow with this
+// many consecutive RTOs is presumed down.
+const DeadAfterTimeouts = 2
+
+// Name implements Scheduler.
+func (*BackupMode) Name() string { return "backup" }
+
+// Pick implements Scheduler.
+func (*BackupMode) Pick(subflows []*Subflow) int {
+	pick := func(backup bool) int {
+		best := -1
+		var bestRTT float64
+		for i, sf := range subflows {
+			if sf.Backup != backup || !sf.usable() {
+				continue
+			}
+			if !backup && sf.EP.ConsecutiveTimeouts() >= DeadAfterTimeouts {
+				continue
+			}
+			rtt := sf.EP.SRTT()
+			if best < 0 || rtt < bestRTT {
+				best, bestRTT = i, rtt
+			}
+		}
+		return best
+	}
+	if i := pick(false); i >= 0 {
+		return i
+	}
+	// All regular subflows are unusable or presumed dead: are any of
+	// them actually alive but merely cwnd-limited? If so, wait for
+	// them rather than waking the backup path.
+	for _, sf := range subflows {
+		if !sf.Backup && sf.EP.Established() && sf.EP.ConsecutiveTimeouts() < DeadAfterTimeouts {
+			return -1
+		}
+	}
+	return pick(true)
+}

@@ -1,0 +1,66 @@
+package netem
+
+import "mptcplab/internal/sim"
+
+// DelayModel samples per-packet extra propagation delay (jitter) on
+// top of a link's fixed propagation time. Links preserve FIFO order
+// regardless of the samples drawn.
+type DelayModel interface {
+	Sample(rng *sim.RNG) sim.Time
+}
+
+// NoJitter adds nothing.
+type NoJitter struct{}
+
+// Sample implements DelayModel.
+func (NoJitter) Sample(*sim.RNG) sim.Time { return 0 }
+
+// UniformJitter adds a uniform sample in [Lo, Hi).
+type UniformJitter struct{ Lo, Hi sim.Time }
+
+// Sample implements DelayModel.
+func (u UniformJitter) Sample(rng *sim.RNG) sim.Time { return rng.Duration(u.Lo, u.Hi) }
+
+// LogNormalJitter adds a log-normal sample (parameters of the
+// underlying normal, in milliseconds), capped at Max. Cellular
+// scheduling delay is well described by this shape.
+type LogNormalJitter struct {
+	Mu, Sigma float64
+	Max       sim.Time
+}
+
+// Sample implements DelayModel.
+func (l LogNormalJitter) Sample(rng *sim.RNG) sim.Time {
+	ms := rng.LogNormal(l.Mu, l.Sigma)
+	d := sim.Time(ms * float64(sim.Millisecond))
+	if l.Max > 0 && d > l.Max {
+		d = l.Max
+	}
+	return d
+}
+
+// ParetoTailJitter mixes a base uniform jitter with an occasional
+// heavy-tailed Pareto excursion: with probability PTail the sample is
+// Pareto(Xm ms, Alpha) capped at Max. 3G radio-network stalls produce
+// exactly this multi-second tail (paper §5.1, Fig 12).
+type ParetoTailJitter struct {
+	Base  UniformJitter
+	PTail float64
+	Xm    float64 // milliseconds
+	Alpha float64
+	Max   sim.Time
+}
+
+// Sample implements DelayModel.
+func (p ParetoTailJitter) Sample(rng *sim.RNG) sim.Time {
+	d := p.Base.Sample(rng)
+	if rng.Bool(p.PTail) {
+		ms := rng.Pareto(p.Xm, p.Alpha)
+		t := sim.Time(ms * float64(sim.Millisecond))
+		if p.Max > 0 && t > p.Max {
+			t = p.Max
+		}
+		d += t
+	}
+	return d
+}

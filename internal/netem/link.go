@@ -1,0 +1,176 @@
+package netem
+
+import (
+	"fmt"
+
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/units"
+)
+
+// ARQ models cellular link-layer retransmission: radio-frame loss is
+// hidden from TCP by local retransmissions (paper §2.1), which convert
+// loss into delay and rate variability. A packet whose retries are
+// exhausted is dropped (residual loss, ~PLoss^(MaxRetries+1)).
+type ARQ struct {
+	PLoss      float64  // per-attempt radio loss probability
+	MaxRetries int      // local retransmissions before giving up
+	RetryDelay sim.Time // added delay per retransmission attempt
+}
+
+// sample returns the extra delay ARQ recovery adds to one packet and
+// whether the packet survives.
+func (a *ARQ) sample(rng *sim.RNG) (extra sim.Time, ok bool) {
+	if a == nil || a.PLoss <= 0 {
+		return 0, true
+	}
+	for try := 0; ; try++ {
+		if !rng.Bool(a.PLoss) {
+			return extra, true
+		}
+		if try >= a.MaxRetries {
+			return extra, false
+		}
+		extra += a.RetryDelay
+	}
+}
+
+// LinkStats counts a link's lifetime activity.
+type LinkStats struct {
+	Sent       uint64 // packets delivered to the far end
+	MediumDrop uint64 // lost to the loss model / ARQ exhaustion
+	QueueDrop  uint64 // tail-dropped at the queue
+	Bytes      int64  // payload+header bytes delivered
+}
+
+// Link is a one-directional packet pipe: a rate-limited server draining
+// a drop-tail byte queue, followed by fixed propagation delay plus
+// per-packet jitter, with optional medium loss, ARQ, and a shared
+// cellular radio gate. Links preserve FIFO ordering.
+//
+// Deep queues on slow links are what produce cellular "bufferbloat":
+// the queueing delay cwnd/Rate emerges exactly as in the measured
+// networks, growing with flow size as Tables 2/5 show.
+type Link struct {
+	Name       string
+	Rate       units.BitRate
+	PropDelay  sim.Time
+	QueueLimit units.ByteCount // max queued bytes; 0 means unlimited
+	Loss       LossModel
+	Jitter     DelayModel
+	ARQ        *ARQ
+	Radio      *Radio
+
+	Stats LinkStats
+
+	// down models a connectivity outage (walking out of WiFi range):
+	// every packet is dropped while set.
+	down bool
+
+	sim *sim.Simulator
+	rng *sim.RNG
+
+	busyUntil   sim.Time
+	queuedBytes units.ByteCount
+	lastArrival sim.Time
+	txSeq       uint64
+}
+
+// NewLink wires a link to its simulator and RNG stream. Loss and
+// Jitter default to NoLoss / NoJitter when nil.
+func NewLink(s *sim.Simulator, rng *sim.RNG, name string) *Link {
+	return &Link{
+		Name:   name,
+		Loss:   NoLoss{},
+		Jitter: NoJitter{},
+		sim:    s,
+		rng:    rng.Child("link/" + name),
+	}
+}
+
+// QueuedBytes reports the current queue occupancy.
+func (l *Link) QueuedBytes() units.ByteCount { return l.queuedBytes }
+
+// QueueDelay reports the delay a packet entering now would wait before
+// its serialization begins.
+func (l *Link) QueueDelay() sim.Time {
+	now := l.sim.Now()
+	if l.busyUntil <= now {
+		return 0
+	}
+	return l.busyUntil - now
+}
+
+// SetDown starts or ends a connectivity outage: while down, the link
+// drops every packet, as a WiFi NIC out of range would. Used by the
+// mobility/handover scenarios (§6).
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// IsDown reports whether the link is in an outage.
+func (l *Link) IsDown() bool { return l.down }
+
+// Send enqueues s. If it survives the queue and the medium, deliver is
+// invoked at the packet's arrival time at the far end.
+func (l *Link) Send(s *seg.Segment, deliver func(*seg.Segment)) {
+	if l.down {
+		l.Stats.MediumDrop++
+		return
+	}
+	now := l.sim.Now()
+	ws := units.ByteCount(s.WireSize())
+
+	if l.QueueLimit > 0 && l.queuedBytes+ws > l.QueueLimit {
+		l.Stats.QueueDrop++
+		return
+	}
+	l.queuedBytes += ws
+	l.txSeq++
+	s.TxSeq = l.txSeq
+
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	if l.Radio != nil {
+		if at := l.Radio.AvailableAt(); at > start {
+			start = at
+		}
+	}
+	departure := start + l.Rate.TransmitTime(ws)
+	l.busyUntil = departure
+
+	arqDelay, survives := l.ARQ.sample(l.rng)
+	if survives && l.Loss != nil && l.Loss.Drop(l.rng) {
+		survives = false
+	}
+
+	arrival := departure + l.PropDelay + arqDelay + l.Jitter.Sample(l.rng)
+	if arrival < l.lastArrival {
+		arrival = l.lastArrival // FIFO: no reordering within a link
+	}
+	l.lastArrival = arrival
+
+	l.sim.At(departure, "link.depart:"+l.Name, func() {
+		l.queuedBytes -= ws
+	})
+	if !survives {
+		l.Stats.MediumDrop++
+		return
+	}
+	l.sim.At(arrival, "link.arrive:"+l.Name, func() {
+		// An outage that began after this packet was sent still kills
+		// it: frames in the air die with the radio.
+		if l.down {
+			l.Stats.MediumDrop++
+			return
+		}
+		l.Stats.Sent++
+		l.Stats.Bytes += int64(ws)
+		deliver(s)
+	})
+}
+
+// String describes the link.
+func (l *Link) String() string {
+	return fmt.Sprintf("%s(%v, %v prop, %v queue)", l.Name, l.Rate, l.PropDelay, l.QueueLimit)
+}

@@ -1,0 +1,82 @@
+// Package netem emulates the paper's testbed networks at packet level:
+// rate-limited drop-tail links (whose deep buffers reproduce cellular
+// bufferbloat), random wireless loss, link-layer ARQ that converts
+// radio loss into delay, the cellular radio-resource state machine,
+// and the wiring of hosts, routes, and capture taps.
+package netem
+
+import "mptcplab/internal/sim"
+
+// LossModel decides whether an egressing packet is dropped by the
+// medium (independently of queue overflow, which the Link handles).
+type LossModel interface {
+	// Drop reports whether the next packet is lost.
+	Drop(rng *sim.RNG) bool
+}
+
+// NoLoss never drops.
+type NoLoss struct{}
+
+// Drop implements LossModel.
+func (NoLoss) Drop(*sim.RNG) bool { return false }
+
+// BernoulliLoss drops each packet independently with probability P.
+type BernoulliLoss struct{ P float64 }
+
+// Drop implements LossModel.
+func (l BernoulliLoss) Drop(rng *sim.RNG) bool { return rng.Bool(l.P) }
+
+// GilbertElliott is a two-state bursty loss process: in the Good state
+// packets are lost with probability PGood, in the Bad state with
+// probability PBad; the chain moves Good->Bad with probability PGB and
+// Bad->Good with PBG per packet. WiFi interference produces loss
+// bursts, which this captures better than a Bernoulli process.
+type GilbertElliott struct {
+	PGood, PBad float64
+	PGB, PBG    float64
+	bad         bool
+}
+
+// GilbertElliottParams is an immutable parameter set from which fresh
+// (stateful) GilbertElliott processes are derived — path profiles hold
+// params; each link instantiates its own chain.
+type GilbertElliottParams struct {
+	PGood, PBad float64
+	PGB, PBG    float64
+}
+
+// New instantiates a chain starting in the Good state.
+func (p GilbertElliottParams) New() *GilbertElliott {
+	return NewGilbertElliott(p.PGood, p.PBad, p.PGB, p.PBG)
+}
+
+// MeanLoss reports the chain's stationary loss probability.
+func (p GilbertElliottParams) MeanLoss() float64 {
+	if p.PGB+p.PBG == 0 {
+		return p.PGood
+	}
+	fBad := p.PGB / (p.PGB + p.PBG)
+	return (1-fBad)*p.PGood + fBad*p.PBad
+}
+
+// NewGilbertElliott returns a process starting in the Good state.
+func NewGilbertElliott(pGood, pBad, pGB, pBG float64) *GilbertElliott {
+	return &GilbertElliott{PGood: pGood, PBad: pBad, PGB: pGB, PBG: pBG}
+}
+
+// Drop implements LossModel.
+func (g *GilbertElliott) Drop(rng *sim.RNG) bool {
+	if g.bad {
+		if rng.Bool(g.PBG) {
+			g.bad = false
+		}
+	} else {
+		if rng.Bool(g.PGB) {
+			g.bad = true
+		}
+	}
+	if g.bad {
+		return rng.Bool(g.PBad)
+	}
+	return rng.Bool(g.PGood)
+}

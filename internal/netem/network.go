@@ -1,0 +1,185 @@
+package netem
+
+import (
+	"fmt"
+
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+)
+
+// Handler consumes segments addressed to an established connection.
+type Handler interface {
+	Receive(s *seg.Segment)
+}
+
+// Listener consumes segments that match a listening port but no
+// established connection (i.e. incoming SYNs).
+type Listener interface {
+	Incoming(s *seg.Segment)
+}
+
+// Direction distinguishes tap callbacks.
+type Direction int
+
+// Tap directions.
+const (
+	Egress Direction = iota
+	Ingress
+)
+
+// Tap observes packets at a host's interfaces, like tcpdump. The
+// segment passed in is a private clone; taps may retain it.
+type Tap func(dir Direction, at sim.Time, s *seg.Segment)
+
+type connKey struct {
+	local, remote seg.Addr
+}
+
+// Host owns a set of interface addresses, demultiplexes arriving
+// segments to connections and listeners, and injects outgoing segments
+// into the network's routes.
+type Host struct {
+	Name string
+
+	net   *Network
+	conns map[connKey]Handler
+	// listeners are keyed by port: the paper's server listens on one
+	// port across both its interfaces.
+	listeners map[uint16]Listener
+	taps      []Tap
+
+	// Unmatched counts segments that matched neither a connection nor
+	// a listener (e.g. late retransmissions after close).
+	Unmatched uint64
+}
+
+// NewHost registers a named host with the network.
+func (n *Network) NewHost(name string) *Host {
+	h := &Host{
+		Name:      name,
+		net:       n,
+		conns:     make(map[connKey]Handler),
+		listeners: make(map[uint16]Listener),
+	}
+	n.hosts = append(n.hosts, h)
+	return h
+}
+
+// Bind routes segments for the (local, remote) pair to h.
+func (h *Host) Bind(local, remote seg.Addr, handler Handler) {
+	h.conns[connKey{local, remote}] = handler
+}
+
+// Unbind removes a connection binding.
+func (h *Host) Unbind(local, remote seg.Addr) {
+	delete(h.conns, connKey{local, remote})
+}
+
+// Listen routes otherwise-unmatched segments for the port to l.
+func (h *Host) Listen(port uint16, l Listener) {
+	h.listeners[port] = l
+}
+
+// AddTap attaches a capture tap to all of the host's traffic.
+func (h *Host) AddTap(t Tap) { h.taps = append(h.taps, t) }
+
+func (h *Host) tap(dir Direction, s *seg.Segment) {
+	if len(h.taps) == 0 {
+		return
+	}
+	c := s.Clone()
+	for _, t := range h.taps {
+		t(dir, h.net.sim.Now(), c)
+	}
+}
+
+// Send stamps and transmits a segment from this host.
+func (h *Host) Send(s *seg.Segment) {
+	s.SentAt = h.net.sim.Now()
+	h.tap(Egress, s)
+	h.net.route(s)
+}
+
+// Deliver hands an arriving segment to the owning connection or
+// listener.
+func (h *Host) Deliver(s *seg.Segment) {
+	h.tap(Ingress, s)
+	if c, ok := h.conns[connKey{s.Dst, s.Src}]; ok {
+		c.Receive(s)
+		return
+	}
+	if l, ok := h.listeners[s.Dst.Port]; ok {
+		l.Incoming(s)
+		return
+	}
+	h.Unmatched++
+}
+
+type routeKey struct {
+	src, dst [4]byte
+}
+
+type route struct {
+	hops []*Link
+	dst  *Host
+}
+
+// Network connects hosts through routes made of shared links. Routing
+// is by (source IP, destination IP): in the paper's testbed the path a
+// packet takes is determined entirely by which client interface and
+// which server interface it runs between.
+type Network struct {
+	sim    *sim.Simulator
+	hosts  []*Host
+	routes map[routeKey]route
+
+	// NoRoute counts segments dropped for lack of a route: a config
+	// error in tests, surfaced rather than panicking mid-simulation.
+	NoRoute uint64
+}
+
+// NewNetwork returns an empty network on the simulator.
+func NewNetwork(s *sim.Simulator) *Network {
+	return &Network{sim: s, routes: make(map[routeKey]route)}
+}
+
+// Sim exposes the simulator driving this network.
+func (n *Network) Sim() *sim.Simulator { return n.sim }
+
+// AddRoute installs a one-directional route: segments from srcIP to
+// dstIP traverse hops in order and are then delivered to dst. Links
+// may appear in multiple routes; they are shared bottlenecks.
+func (n *Network) AddRoute(srcIP, dstIP [4]byte, dst *Host, hops ...*Link) {
+	n.routes[routeKey{srcIP, dstIP}] = route{hops: hops, dst: dst}
+}
+
+// AddDuplexRoute installs forward and reverse routes in one call:
+// a->b over forward hops, b->a over reverse hops.
+func (n *Network) AddDuplexRoute(aIP, bIP [4]byte, aHost, bHost *Host, forward, reverse []*Link) {
+	n.AddRoute(aIP, bIP, bHost, forward...)
+	n.AddRoute(bIP, aIP, aHost, reverse...)
+}
+
+func (n *Network) route(s *seg.Segment) {
+	r, ok := n.routes[routeKey{s.Src.IP, s.Dst.IP}]
+	if !ok {
+		n.NoRoute++
+		return
+	}
+	n.forward(s, r, 0)
+}
+
+func (n *Network) forward(s *seg.Segment, r route, hop int) {
+	if hop == len(r.hops) {
+		r.dst.Deliver(s)
+		return
+	}
+	r.hops[hop].Send(s, func(s *seg.Segment) {
+		n.forward(s, r, hop+1)
+	})
+}
+
+// String summarizes the network.
+func (n *Network) String() string {
+	return fmt.Sprintf("network(%d hosts, %d routes)", len(n.hosts), len(n.routes))
+}

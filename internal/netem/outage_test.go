@@ -1,0 +1,47 @@
+package netem
+
+import (
+	"testing"
+
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/units"
+)
+
+// An outage kills packets already in the air (the radio is gone), not
+// just new transmissions, and delivery resumes after it ends.
+func TestOutageDropsNewAndInFlightPackets(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, sim.NewRNG(1), "l")
+	l.Rate = 1 * units.Gbps
+	l.PropDelay = 50 * sim.Millisecond
+
+	delivered := 0
+	sendOne := func() { l.Send(mkSeg(100), func(*seg.Segment) { delivered++ }) }
+
+	// Packet 1 sent at t=0 arrives at ~50ms; outage begins at 20ms,
+	// while it is in flight: it must die.
+	sendOne()
+	s.RunUntil(20 * sim.Millisecond)
+	l.SetDown(true)
+	if !l.IsDown() {
+		t.Fatal("IsDown false after SetDown")
+	}
+	// Packet 2 sent during the outage: dropped at ingress.
+	sendOne()
+	s.RunUntil(100 * sim.Millisecond)
+	if delivered != 0 {
+		t.Fatalf("delivered %d packets through an outage", delivered)
+	}
+	if l.Stats.MediumDrop != 2 {
+		t.Errorf("MediumDrop = %d, want 2", l.Stats.MediumDrop)
+	}
+
+	// Outage ends: traffic flows again.
+	l.SetDown(false)
+	sendOne()
+	s.Run()
+	if delivered != 1 {
+		t.Errorf("delivered %d after recovery, want 1", delivered)
+	}
+}

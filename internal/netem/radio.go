@@ -1,0 +1,108 @@
+package netem
+
+import "mptcplab/internal/sim"
+
+// RadioState is the cellular radio-resource-control state.
+type RadioState int
+
+// Radio states, after the RRC state machines of 3G/4G modems.
+const (
+	RadioIdle RadioState = iota
+	RadioPromoting
+	RadioReady
+)
+
+// String names the state.
+func (s RadioState) String() string {
+	switch s {
+	case RadioIdle:
+		return "idle"
+	case RadioPromoting:
+		return "promoting"
+	case RadioReady:
+		return "ready"
+	default:
+		return "unknown"
+	}
+}
+
+// Radio models a cellular device's radio-resource state machine. The
+// promotion delay — the time to bring an idle antenna to the ready
+// state — is often longer than a packet RTT (paper §3.2, citing Huang
+// et al.), so the paper pre-warms the antenna with two pings before
+// every measurement. The experiment harness does the same via Warm;
+// the state machine is still modeled so its impact can be measured.
+//
+// One Radio is shared by a device's uplink and downlink: it is the
+// same antenna.
+type Radio struct {
+	sim *sim.Simulator
+
+	// PromotionDelay is the idle->ready transition time.
+	PromotionDelay sim.Time
+	// DemoteAfter is the inactivity timeout before ready->idle.
+	DemoteAfter sim.Time
+
+	state        RadioState
+	readyAt      sim.Time
+	lastActivity sim.Time
+}
+
+// NewRadio returns a radio in the Idle state.
+func NewRadio(s *sim.Simulator, promotion, demoteAfter sim.Time) *Radio {
+	return &Radio{sim: s, PromotionDelay: promotion, DemoteAfter: demoteAfter}
+}
+
+// State reports the current state, applying any pending demotion.
+func (r *Radio) State() RadioState {
+	r.tick()
+	return r.state
+}
+
+// tick lazily applies state transitions due to the passage of time.
+func (r *Radio) tick() {
+	now := r.sim.Now()
+	switch r.state {
+	case RadioPromoting:
+		if now >= r.readyAt {
+			r.state = RadioReady
+			r.lastActivity = r.readyAt
+		}
+	case RadioReady:
+		if r.DemoteAfter > 0 && now-r.lastActivity >= r.DemoteAfter {
+			r.state = RadioIdle
+		}
+	}
+}
+
+// AvailableAt reports the earliest time a packet arriving now can be
+// serviced, starting promotion if the radio is idle, and records the
+// activity.
+func (r *Radio) AvailableAt() sim.Time {
+	if r == nil {
+		return 0
+	}
+	r.tick()
+	now := r.sim.Now()
+	switch r.state {
+	case RadioReady:
+		r.lastActivity = now
+		return now
+	case RadioPromoting:
+		return r.readyAt
+	default: // idle: begin promotion
+		r.state = RadioPromoting
+		r.readyAt = now + r.PromotionDelay
+		return r.readyAt
+	}
+}
+
+// Warm forces the radio to the ready state immediately, as the paper's
+// pre-measurement pings do.
+func (r *Radio) Warm() {
+	if r == nil {
+		return
+	}
+	r.state = RadioReady
+	r.lastActivity = r.sim.Now()
+}

@@ -1,0 +1,250 @@
+// Package pathmodel defines calibrated stochastic models of the
+// paper's five access networks: Comcast home WiFi, a public coffee-shop
+// WiFi hotspot, AT&T 4G LTE, Verizon 4G LTE, and Sprint 3G EVDO.
+//
+// Each profile reproduces the *mechanisms* behind the paper's
+// measurements rather than hard-coding its numbers:
+//
+//   - WiFi: short propagation delay, bursty medium loss of 1-3%
+//     (Gilbert-Elliott), shallow buffers — low, stable RTTs.
+//   - LTE: longer base RTT, link-layer ARQ that hides radio loss
+//     (<0.1% residual) at the cost of delay jitter, and deep drop-tail
+//     buffers whose queueing delay ("bufferbloat") inflates RTT as the
+//     congestion window grows — exactly the RTT-vs-file-size growth of
+//     Tables 2/5.
+//   - 3G EVDO: a slow link behind a very deep buffer plus heavy-tailed
+//     scheduling stalls — the multi-second RTT tail of Figure 12.
+//
+// Profiles are sampled per run (rate, delay, and loss wander across
+// "times of day" and "locations") so repeated measurements spread the
+// way the paper's box plots do.
+package pathmodel
+
+import (
+	"fmt"
+
+	"mptcplab/internal/netem"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/units"
+)
+
+// Tech distinguishes the access technology class.
+type Tech int
+
+// Access technologies.
+const (
+	WiFi Tech = iota
+	LTE
+	EVDO
+)
+
+// String names the technology.
+func (t Tech) String() string {
+	switch t {
+	case WiFi:
+		return "WiFi"
+	case LTE:
+		return "4G LTE"
+	case EVDO:
+		return "3G EVDO"
+	default:
+		return "unknown"
+	}
+}
+
+// Profile parameterizes one access network.
+type Profile struct {
+	Name string
+	Tech Tech
+
+	DownRate, UpRate   units.BitRate
+	OWD                sim.Time // one-way propagation delay, each direction
+	DownQueue, UpQueue units.ByteCount
+
+	// WiFi medium loss (Gilbert-Elliott); zero for cellular.
+	GEDown, GEUp *netem.GilbertElliottParams
+
+	// Cellular link-layer retransmission; nil for WiFi.
+	ARQ *netem.ARQ
+
+	// Per-packet scheduling jitter.
+	DownJitter, UpJitter netem.DelayModel
+
+	// Radio-resource state machine (cellular only).
+	Promotion, DemoteAfter sim.Time
+
+	// Spread controls per-run parameter variation (0 = none; 0.2 means
+	// rates and delays wander ±20% between runs).
+	Spread float64
+}
+
+// ComcastHome is the paper's default WiFi: a residential cable-backed
+// 802.11a/b/g network, ~22-39 ms RTTs, 1-2% bursty loss.
+func ComcastHome() Profile {
+	return Profile{
+		Name: "wifi", Tech: WiFi,
+		DownRate: 20 * units.Mbps, UpRate: 6 * units.Mbps,
+		OWD:       9 * sim.Millisecond,
+		DownQueue: 96 * units.KB, UpQueue: 48 * units.KB,
+		GEDown:     &netem.GilbertElliottParams{PGood: 0.008, PBad: 0.25, PGB: 0.004, PBG: 0.25},
+		GEUp:       &netem.GilbertElliottParams{PGood: 0.004, PBad: 0.15, PGB: 0.002, PBG: 0.3},
+		DownJitter: netem.UniformJitter{Lo: 0, Hi: 4 * sim.Millisecond},
+		UpJitter:   netem.UniformJitter{Lo: 0, Hi: 3 * sim.Millisecond},
+		Spread:     0.20,
+	}
+}
+
+// CoffeeShop is the §4.1 public hotspot on a Friday afternoon: heavily
+// shared, 3-5% loss, occasionally huge contention delays.
+func CoffeeShop() Profile {
+	return Profile{
+		Name: "coffeeshop-wifi", Tech: WiFi,
+		DownRate: 6 * units.Mbps, UpRate: 2 * units.Mbps,
+		OWD:       8 * sim.Millisecond,
+		DownQueue: 64 * units.KB, UpQueue: 32 * units.KB,
+		GEDown:     &netem.GilbertElliottParams{PGood: 0.015, PBad: 0.35, PGB: 0.012, PBG: 0.18},
+		GEUp:       &netem.GilbertElliottParams{PGood: 0.008, PBad: 0.2, PGB: 0.008, PBG: 0.2},
+		DownJitter: netem.LogNormalJitter{Mu: 0.9, Sigma: 1.3, Max: 500 * sim.Millisecond},
+		UpJitter:   netem.LogNormalJitter{Mu: 0.7, Sigma: 1.0, Max: 300 * sim.Millisecond},
+		Spread:     0.35,
+	}
+}
+
+// ATT is AT&T 4G LTE: the paper's most stable cellular network —
+// ~60 ms base RTT inflating to ~140 ms on large flows, near-zero loss.
+func ATT() Profile {
+	return Profile{
+		Name: "att", Tech: LTE,
+		DownRate: 11 * units.Mbps, UpRate: 5 * units.Mbps,
+		OWD:       27 * sim.Millisecond,
+		DownQueue: 1 * units.MB, UpQueue: 256 * units.KB,
+		ARQ:        &netem.ARQ{PLoss: 0.07, MaxRetries: 3, RetryDelay: 8 * sim.Millisecond},
+		DownJitter: netem.LogNormalJitter{Mu: 1.1, Sigma: 0.8, Max: 300 * sim.Millisecond},
+		UpJitter:   netem.LogNormalJitter{Mu: 0.9, Sigma: 0.7, Max: 200 * sim.Millisecond},
+		Promotion:  260 * sim.Millisecond, DemoteAfter: 10 * sim.Second,
+		Spread: 0.15,
+	}
+}
+
+// Verizon is Verizon 4G LTE: lower minimum RTT than AT&T but a much
+// deeper buffer and higher variability — RTTs reach 600+ ms on large
+// flows and queue overflow produces ~1-2% loss at 16 MB (Table 2).
+func Verizon() Profile {
+	return Profile{
+		Name: "verizon", Tech: LTE,
+		DownRate: 9 * units.Mbps, UpRate: 4 * units.Mbps,
+		OWD:       20 * sim.Millisecond,
+		DownQueue: 768 * units.KB, UpQueue: 192 * units.KB,
+		ARQ:        &netem.ARQ{PLoss: 0.12, MaxRetries: 2, RetryDelay: 10 * sim.Millisecond},
+		DownJitter: netem.LogNormalJitter{Mu: 2.2, Sigma: 1.1, Max: 1200 * sim.Millisecond},
+		UpJitter:   netem.LogNormalJitter{Mu: 1.6, Sigma: 0.9, Max: 600 * sim.Millisecond},
+		Promotion:  300 * sim.Millisecond, DemoteAfter: 10 * sim.Second,
+		Spread: 0.25,
+	}
+}
+
+// Sprint is Sprint 3G EVDO: a ~1.5 Mbps link behind seconds of buffer,
+// with heavy-tailed radio stalls — base RTTs of 200+ ms, inflated RTTs
+// past a second, and the worst residual loss of the carriers.
+func Sprint() Profile {
+	return Profile{
+		Name: "sprint", Tech: EVDO,
+		DownRate: 1600 * units.Kbps, UpRate: 600 * units.Kbps,
+		OWD:       55 * sim.Millisecond,
+		DownQueue: 256 * units.KB, UpQueue: 96 * units.KB,
+		ARQ: &netem.ARQ{PLoss: 0.12, MaxRetries: 1, RetryDelay: 80 * sim.Millisecond},
+		DownJitter: netem.ParetoTailJitter{
+			Base:  netem.UniformJitter{Lo: 5 * sim.Millisecond, Hi: 80 * sim.Millisecond},
+			PTail: 0.03, Xm: 90, Alpha: 1.35, Max: 1800 * sim.Millisecond,
+		},
+		UpJitter: netem.ParetoTailJitter{
+			Base:  netem.UniformJitter{Lo: 5 * sim.Millisecond, Hi: 60 * sim.Millisecond},
+			PTail: 0.05, Xm: 60, Alpha: 1.3, Max: 3 * sim.Second,
+		},
+		Promotion: 2 * sim.Second, DemoteAfter: 5 * sim.Second,
+		Spread: 0.30,
+	}
+}
+
+// ByName looks a profile up ("wifi", "coffeeshop", "att", "verizon",
+// "sprint").
+func ByName(name string) (Profile, error) {
+	switch name {
+	case "wifi", "comcast":
+		return ComcastHome(), nil
+	case "coffeeshop", "coffeeshop-wifi":
+		return CoffeeShop(), nil
+	case "att":
+		return ATT(), nil
+	case "verizon":
+		return Verizon(), nil
+	case "sprint":
+		return Sprint(), nil
+	default:
+		return Profile{}, fmt.Errorf("pathmodel: unknown profile %q", name)
+	}
+}
+
+// Carriers lists the cellular profiles in the paper's order.
+func Carriers() []Profile { return []Profile{ATT(), Verizon(), Sprint()} }
+
+// Sample draws a per-run variant of the profile: the paper's temporal
+// (time-of-day) and spatial (town/location) variation.
+func (p Profile) Sample(rng *sim.RNG) Profile {
+	if p.Spread <= 0 {
+		return p
+	}
+	s := p
+	scale := func(lo, hi float64) float64 { return rng.Uniform(lo, hi) }
+	v := p.Spread
+	s.DownRate = units.BitRate(float64(p.DownRate) * scale(1-v, 1+v))
+	s.UpRate = units.BitRate(float64(p.UpRate) * scale(1-v, 1+v))
+	s.OWD = sim.Time(float64(p.OWD) * scale(1-v/2, 1+v/2))
+	if s.GEDown != nil {
+		g := *p.GEDown
+		f := scale(1-v, 1+v)
+		g.PGood *= f
+		g.PGB *= f
+		s.GEDown = &g
+	}
+	if s.ARQ != nil {
+		a := *p.ARQ
+		a.PLoss *= scale(1-v, 1+v)
+		s.ARQ = &a
+	}
+	return s
+}
+
+// Links materializes the profile into an uplink and downlink pair
+// (plus the shared radio, for cellular) on the given simulator.
+func (p Profile) Links(s *sim.Simulator, rng *sim.RNG) (up, down *netem.Link, radio *netem.Radio) {
+	up = netem.NewLink(s, rng, p.Name+"-up")
+	up.Rate, up.PropDelay, up.QueueLimit = p.UpRate, p.OWD, p.UpQueue
+	down = netem.NewLink(s, rng, p.Name+"-down")
+	down.Rate, down.PropDelay, down.QueueLimit = p.DownRate, p.OWD, p.DownQueue
+
+	if p.GEDown != nil {
+		down.Loss = p.GEDown.New()
+	}
+	if p.GEUp != nil {
+		up.Loss = p.GEUp.New()
+	}
+	if p.ARQ != nil {
+		d := *p.ARQ
+		u := *p.ARQ
+		down.ARQ = &d
+		up.ARQ = &u
+	}
+	if p.DownJitter != nil {
+		down.Jitter = p.DownJitter
+	}
+	if p.UpJitter != nil {
+		up.Jitter = p.UpJitter
+	}
+	if p.Promotion > 0 {
+		radio = netem.NewRadio(s, p.Promotion, p.DemoteAfter)
+		up.Radio = radio
+		down.Radio = radio
+	}
+	return up, down, radio
+}

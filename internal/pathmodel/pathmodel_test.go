@@ -1,0 +1,128 @@
+package pathmodel
+
+import (
+	"testing"
+
+	"mptcplab/internal/netem"
+	"mptcplab/internal/sim"
+)
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"wifi", "comcast", "coffeeshop", "att", "verizon", "sprint"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("tmobile"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestCarrierClassesMatchPaperCharacterization(t *testing.T) {
+	// §2.1: cellular paths have larger base RTTs than WiFi; 3G is the
+	// slowest and highest-latency; WiFi is the lossy one.
+	wifi := ComcastHome()
+	att, vz, sprint := ATT(), Verizon(), Sprint()
+
+	for _, c := range []Profile{att, vz, sprint} {
+		if c.OWD <= wifi.OWD {
+			t.Errorf("%s OWD %v not above WiFi %v", c.Name, c.OWD, wifi.OWD)
+		}
+		if c.GEDown != nil {
+			t.Errorf("%s has WiFi-style medium loss", c.Name)
+		}
+		if c.ARQ == nil {
+			t.Errorf("%s lacks link-layer ARQ", c.Name)
+		}
+		if c.Promotion == 0 {
+			t.Errorf("%s lacks a radio promotion delay", c.Name)
+		}
+	}
+	if wifi.GEDown == nil {
+		t.Error("WiFi lacks medium loss")
+	}
+	if wifi.GEDown.MeanLoss() < 0.005 || wifi.GEDown.MeanLoss() > 0.04 {
+		t.Errorf("WiFi stationary loss %.4f outside the paper's 1-3%% band", wifi.GEDown.MeanLoss())
+	}
+	if sprint.DownRate >= att.DownRate || sprint.DownRate >= vz.DownRate {
+		t.Error("3G EVDO should be the slowest carrier")
+	}
+	cs := CoffeeShop()
+	if cs.GEDown.MeanLoss() <= wifi.GEDown.MeanLoss() {
+		t.Error("coffee-shop WiFi should be lossier than home WiFi")
+	}
+	if len(Carriers()) != 3 {
+		t.Error("Carriers() should list AT&T, Verizon, Sprint")
+	}
+}
+
+func TestBufferbloatDepthOrdering(t *testing.T) {
+	// Maximum queueing delay (queue/rate) must dwarf the base RTT on
+	// cellular paths — the §5.1 bufferbloat premise — and stay modest
+	// on WiFi.
+	queueDelay := func(p Profile) sim.Time {
+		return p.DownRate.TransmitTime(p.DownQueue)
+	}
+	wifi, att, sprint := ComcastHome(), ATT(), Sprint()
+	if queueDelay(wifi) > 100*sim.Millisecond {
+		t.Errorf("WiFi max queue delay %v too bloated", queueDelay(wifi))
+	}
+	if queueDelay(att) < 300*sim.Millisecond {
+		t.Errorf("AT&T max queue delay %v too shallow for bufferbloat", queueDelay(att))
+	}
+	if queueDelay(sprint) < sim.Second {
+		t.Errorf("Sprint max queue delay %v; paper saw multi-second RTTs", queueDelay(sprint))
+	}
+}
+
+func TestSampleStaysWithinSpread(t *testing.T) {
+	p := ATT()
+	rng := sim.NewRNG(3)
+	for i := 0; i < 200; i++ {
+		s := p.Sample(rng)
+		lo := float64(p.DownRate) * (1 - p.Spread)
+		hi := float64(p.DownRate) * (1 + p.Spread)
+		if float64(s.DownRate) < lo-1 || float64(s.DownRate) > hi+1 {
+			t.Fatalf("sampled rate %v outside ±%.0f%%", s.DownRate, p.Spread*100)
+		}
+		if s.ARQ == p.ARQ {
+			t.Fatal("Sample aliases the template ARQ")
+		}
+	}
+	// Zero spread: identity.
+	p.Spread = 0
+	s := p.Sample(rng)
+	if s.DownRate != p.DownRate {
+		t.Error("zero-spread sample changed the profile")
+	}
+}
+
+func TestLinksMaterialization(t *testing.T) {
+	s := sim.New()
+	rng := sim.NewRNG(1)
+
+	up, down, radio := ATT().Links(s, rng)
+	if radio == nil {
+		t.Fatal("cellular profile produced no radio")
+	}
+	if up.Radio != radio || down.Radio != radio {
+		t.Error("uplink and downlink must share the antenna")
+	}
+	if up.ARQ == down.ARQ {
+		t.Error("up/down ARQ must be independent instances")
+	}
+	if down.Rate != ATT().DownRate {
+		t.Errorf("down rate %v", down.Rate)
+	}
+
+	wUp, wDown, wRadio := ComcastHome().Links(s, rng)
+	if wRadio != nil {
+		t.Error("WiFi has no cellular radio")
+	}
+	if wUp.Loss == nil || wDown.Loss == nil {
+		t.Error("WiFi links lack loss processes")
+	}
+	if _, ok := wDown.Loss.(*netem.GilbertElliott); !ok {
+		t.Errorf("WiFi downlink loss is %T, want Gilbert-Elliott", wDown.Loss)
+	}
+}

@@ -1,0 +1,119 @@
+package pathmodel
+
+import "mptcplab/internal/units"
+
+// Period is one of the paper's four measurement windows (§3.2): night
+// (0-6), morning (6-12), afternoon (12-18), evening (18-24). Network
+// load is diurnal — a residential cable segment is busiest in the
+// evening, a coffee-shop hotspot in the afternoon — and the paper
+// measures 20 downloads per period to capture it.
+type Period int
+
+// The four periods.
+const (
+	Night Period = iota
+	Morning
+	Afternoon
+	Evening
+)
+
+// AllPeriods lists the periods in day order.
+var AllPeriods = []Period{Night, Morning, Afternoon, Evening}
+
+// String names the period.
+func (p Period) String() string {
+	switch p {
+	case Night:
+		return "night"
+	case Morning:
+		return "morning"
+	case Afternoon:
+		return "afternoon"
+	case Evening:
+		return "evening"
+	default:
+		return "unknown"
+	}
+}
+
+// periodLoad describes how a period scales a profile: a rate factor
+// (shared capacity under contention) and a loss factor (collisions).
+type periodLoad struct {
+	rate, loss float64
+}
+
+// loadFor returns the diurnal multipliers for a profile class.
+func loadFor(tech Tech, name string, p Period) periodLoad {
+	if name == "coffeeshop-wifi" {
+		// Hotspot: dead at night, slammed in the afternoon (the
+		// paper's §4.1 measurements were a Friday afternoon).
+		switch p {
+		case Night:
+			return periodLoad{1.25, 0.6}
+		case Morning:
+			return periodLoad{1.0, 1.0}
+		case Afternoon:
+			return periodLoad{0.6, 1.5}
+		default:
+			return periodLoad{0.8, 1.2}
+		}
+	}
+	switch tech {
+	case WiFi:
+		// Residential cable: evening streaming hour.
+		switch p {
+		case Night:
+			return periodLoad{1.15, 0.8}
+		case Morning:
+			return periodLoad{1.05, 0.9}
+		case Afternoon:
+			return periodLoad{0.95, 1.1}
+		default:
+			return periodLoad{0.75, 1.35}
+		}
+	default:
+		// Cellular: flatter, mild evening dip.
+		switch p {
+		case Night:
+			return periodLoad{1.1, 0.9}
+		case Morning:
+			return periodLoad{1.0, 1.0}
+		case Afternoon:
+			return periodLoad{0.95, 1.05}
+		default:
+			return periodLoad{0.85, 1.15}
+		}
+	}
+}
+
+// AtPeriod returns the profile as it behaves during the given period.
+// Apply before Sample: the per-run Spread then models within-period
+// variation around the period's load level.
+func (p Profile) AtPeriod(period Period) Profile {
+	l := loadFor(p.Tech, p.Name, period)
+	s := p
+	s.DownRate = scaleRate(p.DownRate, l.rate)
+	s.UpRate = scaleRate(p.UpRate, l.rate)
+	if p.GEDown != nil {
+		g := *p.GEDown
+		g.PGood *= l.loss
+		g.PGB *= l.loss
+		s.GEDown = &g
+	}
+	if p.GEUp != nil {
+		g := *p.GEUp
+		g.PGood *= l.loss
+		g.PGB *= l.loss
+		s.GEUp = &g
+	}
+	if p.ARQ != nil {
+		a := *p.ARQ
+		a.PLoss *= l.loss
+		s.ARQ = &a
+	}
+	return s
+}
+
+func scaleRate(r units.BitRate, f float64) units.BitRate {
+	return units.BitRate(float64(r) * f)
+}

@@ -1,0 +1,53 @@
+package pathmodel
+
+import "testing"
+
+func TestPeriodNames(t *testing.T) {
+	want := []string{"night", "morning", "afternoon", "evening"}
+	for i, p := range AllPeriods {
+		if p.String() != want[i] {
+			t.Errorf("period %d = %q, want %q", i, p.String(), want[i])
+		}
+	}
+	if Period(99).String() != "unknown" {
+		t.Error("unknown period name")
+	}
+}
+
+func TestDiurnalLoadShapes(t *testing.T) {
+	home := ComcastHome()
+	// Residential WiFi: evening is the worst period.
+	evening := home.AtPeriod(Evening)
+	night := home.AtPeriod(Night)
+	if evening.DownRate >= night.DownRate {
+		t.Errorf("evening rate %v not below night %v", evening.DownRate, night.DownRate)
+	}
+	if evening.GEDown.MeanLoss() <= night.GEDown.MeanLoss() {
+		t.Errorf("evening loss %.4f not above night %.4f",
+			evening.GEDown.MeanLoss(), night.GEDown.MeanLoss())
+	}
+
+	// Coffee shop: afternoon is the worst (the paper's Friday
+	// afternoon measurement).
+	cs := CoffeeShop()
+	worst := cs.AtPeriod(Afternoon)
+	for _, p := range AllPeriods {
+		if p == Afternoon {
+			continue
+		}
+		if cs.AtPeriod(p).DownRate <= worst.DownRate {
+			t.Errorf("coffee shop %v rate not above afternoon", p)
+		}
+	}
+
+	// Cellular ARQ load scales too, and the template is never mutated.
+	att := ATT()
+	base := att.ARQ.PLoss
+	_ = att.AtPeriod(Evening)
+	if att.ARQ.PLoss != base {
+		t.Error("AtPeriod mutated the template profile")
+	}
+	if att.AtPeriod(Evening).ARQ.PLoss <= base {
+		t.Error("evening cellular radio loss not elevated")
+	}
+}

@@ -1,0 +1,137 @@
+package pcap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := []Packet{
+		{TS: 0, Data: []byte{1, 2, 3}},
+		{TS: 1_500_000_123, Data: []byte{0xFF}},
+		{TS: 3_000_000_000_000, Data: make([]byte, 1500)},
+	}
+	for _, p := range pkts {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Packets != 3 {
+		t.Errorf("Packets = %d", w.Packets)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LinkType != LinkTypeRaw {
+		t.Errorf("LinkType = %d", r.LinkType)
+	}
+	for i, want := range pkts {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if got.TS != want.TS {
+			t.Errorf("packet %d TS = %d, want %d", i, got.TS, want.TS)
+		}
+		if !bytes.Equal(got.Data, want.Data) {
+			t.Errorf("packet %d data mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("expected EOF, got %v", err)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(ts int64, data []byte) bool {
+		if ts < 0 {
+			ts = -ts
+		}
+		// The classic pcap header stores seconds as uint32; clamp the
+		// property domain to representable timestamps (~136 years).
+		ts %= int64(1<<32) * 1e9
+		var buf bytes.Buffer
+		w, err := NewWriter(&buf)
+		if err != nil {
+			return false
+		}
+		if err := w.WritePacket(Packet{TS: ts, Data: data}); err != nil {
+			return false
+		}
+		r, err := NewReader(&buf)
+		if err != nil {
+			return false
+		}
+		got, err := r.Next()
+		if err != nil {
+			return false
+		}
+		return got.TS == ts && bytes.Equal(got.Data, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMicrosecondMagicAccepted(t *testing.T) {
+	var buf bytes.Buffer
+	hdr := make([]byte, 24)
+	binary.LittleEndian.PutUint32(hdr[0:], MagicMicros)
+	binary.LittleEndian.PutUint32(hdr[20:], LinkTypeRaw)
+	buf.Write(hdr)
+	// One packet: 2s + 500us, 1 data byte.
+	ph := make([]byte, 16)
+	binary.LittleEndian.PutUint32(ph[0:], 2)
+	binary.LittleEndian.PutUint32(ph[4:], 500)
+	binary.LittleEndian.PutUint32(ph[8:], 1)
+	binary.LittleEndian.PutUint32(ph[12:], 1)
+	buf.Write(ph)
+	buf.WriteByte(0xAB)
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TS != 2_000_500_000 {
+		t.Errorf("TS = %d, want 2000500000 (µs scaled to ns)", p.TS)
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	buf := bytes.NewReader(make([]byte, 24))
+	if _, err := NewReader(buf); err == nil {
+		t.Error("zero magic accepted")
+	}
+}
+
+func TestTruncatedStreams(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("truncated global header accepted")
+	}
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	_ = w.WritePacket(Packet{TS: 1, Data: []byte{1, 2, 3, 4}})
+	full := buf.Bytes()
+	// Chop mid-frame.
+	r, err := NewReader(bytes.NewReader(full[:len(full)-2]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err == nil {
+		t.Error("truncated frame read without error")
+	}
+}

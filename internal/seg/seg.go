@@ -1,0 +1,217 @@
+// Package seg defines mptcplab's wire model: TCP segments with real
+// IPv4/TCP binary encodings, including the MPTCP option (kind 30) and
+// its MP_CAPABLE / MP_JOIN / DSS / ADD_ADDR subtypes.
+//
+// The simulator moves *Segment values between endpoints directly (no
+// serialization on the hot path), but every segment can be encoded to
+// genuine wire bytes for pcap capture and decoded back by the trace
+// analyzer, mirroring the paper's tcpdump/tcptrace methodology.
+package seg
+
+import (
+	"fmt"
+	"net/netip"
+
+	"mptcplab/internal/sim"
+)
+
+// Addr is an IPv4 endpoint address (host + TCP port).
+type Addr struct {
+	IP   [4]byte
+	Port uint16
+}
+
+// MakeAddr builds an Addr from a dotted-quad string and port. It
+// panics on a malformed literal; addresses in mptcplab are static
+// testbed configuration, so a bad one is a programming error.
+func MakeAddr(ip string, port uint16) Addr {
+	a, err := netip.ParseAddr(ip)
+	if err != nil || !a.Is4() {
+		panic(fmt.Sprintf("seg: bad IPv4 literal %q", ip))
+	}
+	return Addr{IP: a.As4(), Port: port}
+}
+
+// String renders "a.b.c.d:port".
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d", a.IP[0], a.IP[1], a.IP[2], a.IP[3], a.Port)
+}
+
+// IPString renders just the dotted quad.
+func (a Addr) IPString() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a.IP[0], a.IP[1], a.IP[2], a.IP[3])
+}
+
+// Flags is the TCP flag byte.
+type Flags uint8
+
+// TCP control flags.
+const (
+	FIN Flags = 1 << 0
+	SYN Flags = 1 << 1
+	RST Flags = 1 << 2
+	PSH Flags = 1 << 3
+	ACK Flags = 1 << 4
+)
+
+// Has reports whether all flags in f2 are set in f.
+func (f Flags) Has(f2 Flags) bool { return f&f2 == f2 }
+
+// String renders e.g. "SYN|ACK".
+func (f Flags) String() string {
+	s := ""
+	add := func(b Flags, n string) {
+		if f&b != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n
+		}
+	}
+	add(SYN, "SYN")
+	add(ACK, "ACK")
+	add(FIN, "FIN")
+	add(RST, "RST")
+	add(PSH, "PSH")
+	if s == "" {
+		s = "-"
+	}
+	return s
+}
+
+// Segment is one TCP segment in flight. PayloadLen stands in for the
+// application bytes (contents are synthesized on capture); everything
+// else is genuine TCP header state.
+type Segment struct {
+	Src, Dst Addr
+	Seq, Ack uint32
+	Flags    Flags
+	Window   uint32 // advertised receive window, bytes (post-scaling)
+
+	PayloadLen int
+	Options    []Option
+
+	// Simulation bookkeeping, not on the wire.
+	SentAt     sim.Time // stamped when the sender hands it to the NIC
+	Retransmit bool     // true if this carries previously sent data
+	TxSeq      uint64   // per-path transmission serial, set by netem
+}
+
+// Len reports the payload length in bytes.
+func (s *Segment) Len() int { return s.PayloadLen }
+
+// WireSize reports the on-the-wire size in bytes: IPv4 header, TCP
+// header with options (padded to a 4-byte boundary), and payload.
+// Link-level queueing and transmission delay are computed from this.
+func (s *Segment) WireSize() int {
+	return ipv4HeaderLen + tcpBaseHeaderLen + s.optionsWireLen() + s.PayloadLen
+}
+
+// End reports the sequence number after this segment's data, counting
+// SYN and FIN as one unit each, per TCP sequence-space rules.
+func (s *Segment) End() uint32 {
+	n := uint32(s.PayloadLen)
+	if s.Flags.Has(SYN) {
+		n++
+	}
+	if s.Flags.Has(FIN) {
+		n++
+	}
+	return s.Seq + n
+}
+
+// Option looks up the first option of the given kind, or nil.
+func (s *Segment) Option(kind OptionKind) Option {
+	for _, o := range s.Options {
+		if o.Kind() == kind {
+			return o
+		}
+	}
+	return nil
+}
+
+// MPTCP looks up the first MPTCP option with the given subtype, or nil.
+func (s *Segment) MPTCP(sub MPTCPSubtype) Option {
+	for _, o := range s.Options {
+		if m, ok := o.(mptcpOption); ok && m.Subtype() == sub {
+			return o
+		}
+	}
+	return nil
+}
+
+// AddOption appends an option and returns the segment for chaining.
+func (s *Segment) AddOption(o Option) *Segment {
+	s.Options = append(s.Options, o)
+	return s
+}
+
+func (s *Segment) optionsWireLen() int {
+	n := 0
+	for _, o := range packOptions(s.Options) {
+		n += o.wireLen()
+	}
+	// Pad to 32-bit boundary with NOPs as real stacks do.
+	return (n + 3) &^ 3
+}
+
+// String renders a compact one-line summary for logs and tests.
+func (s *Segment) String() string {
+	extra := ""
+	if s.Retransmit {
+		extra = " RTX"
+	}
+	for _, o := range s.Options {
+		if m, ok := o.(mptcpOption); ok {
+			extra += " " + m.Subtype().String()
+		}
+	}
+	return fmt.Sprintf("%v>%v %s seq=%d ack=%d len=%d win=%d%s",
+		s.Src, s.Dst, s.Flags, s.Seq, s.Ack, s.PayloadLen, s.Window, extra)
+}
+
+// Clone returns a deep copy of the segment (options included). The
+// netem layer clones segments at fan-out points such as capture taps so
+// later mutation cannot corrupt a recorded trace.
+func (s *Segment) Clone() *Segment {
+	c := *s
+	if len(s.Options) > 0 {
+		c.Options = make([]Option, len(s.Options))
+		copy(c.Options, s.Options)
+	}
+	return &c
+}
+
+// SeqLT reports a < b in 32-bit TCP sequence arithmetic.
+func SeqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SeqLEQ reports a <= b in sequence arithmetic.
+func SeqLEQ(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// SeqGT reports a > b in sequence arithmetic.
+func SeqGT(a, b uint32) bool { return int32(a-b) > 0 }
+
+// SeqGEQ reports a >= b in sequence arithmetic.
+func SeqGEQ(a, b uint32) bool { return int32(a-b) >= 0 }
+
+// SeqMax returns the later of a and b in sequence arithmetic.
+func SeqMax(a, b uint32) uint32 {
+	if SeqGT(a, b) {
+		return a
+	}
+	return b
+}
+
+// SeqMin returns the earlier of a and b in sequence arithmetic.
+func SeqMin(a, b uint32) uint32 {
+	if SeqLT(a, b) {
+		return a
+	}
+	return b
+}
+
+// DSeqLT reports a < b in 64-bit MPTCP data-sequence arithmetic.
+func DSeqLT(a, b uint64) bool { return int64(a-b) < 0 }
+
+// DSeqGEQ reports a >= b in data-sequence arithmetic.
+func DSeqGEQ(a, b uint64) bool { return int64(a-b) >= 0 }

@@ -1,0 +1,321 @@
+package seg
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSeqArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b uint32
+		lt   bool
+	}{
+		{1, 2, true},
+		{2, 1, false},
+		{5, 5, false},
+		{math.MaxUint32, 0, true},       // wraparound
+		{0, math.MaxUint32, false},      // wraparound
+		{math.MaxUint32 - 10, 10, true}, // across the wrap
+	}
+	for _, c := range cases {
+		if got := SeqLT(c.a, c.b); got != c.lt {
+			t.Errorf("SeqLT(%d,%d) = %v, want %v", c.a, c.b, got, c.lt)
+		}
+	}
+	if !SeqLEQ(7, 7) || !SeqGEQ(7, 7) {
+		t.Error("SeqLEQ/SeqGEQ not reflexive")
+	}
+	if SeqMax(10, 20) != 20 || SeqMin(10, 20) != 10 {
+		t.Error("SeqMax/SeqMin wrong")
+	}
+	if SeqMax(math.MaxUint32, 5) != 5 {
+		t.Error("SeqMax across wrap wrong")
+	}
+}
+
+// SeqLT is a strict total order on windows < 2^31.
+func TestSeqOrderProperty(t *testing.T) {
+	f := func(base uint32, d1, d2 uint16) bool {
+		a := base + uint32(d1)
+		b := base + uint32(d2)
+		switch {
+		case d1 < d2:
+			return SeqLT(a, b)
+		case d1 > d2:
+			return SeqGT(a, b)
+		default:
+			return !SeqLT(a, b) && !SeqGT(a, b)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDSeqArithmetic(t *testing.T) {
+	if !DSeqLT(1, 2) || DSeqLT(2, 1) {
+		t.Error("DSeqLT wrong")
+	}
+	if !DSeqGEQ(5, 5) {
+		t.Error("DSeqGEQ not reflexive")
+	}
+}
+
+func TestMakeAddr(t *testing.T) {
+	a := MakeAddr("10.1.2.3", 8080)
+	if a.String() != "10.1.2.3:8080" {
+		t.Errorf("String = %q", a.String())
+	}
+	if a.IPString() != "10.1.2.3" {
+		t.Errorf("IPString = %q", a.IPString())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad literal did not panic")
+		}
+	}()
+	MakeAddr("not-an-ip", 1)
+}
+
+func TestFlagsString(t *testing.T) {
+	if got := (SYN | ACK).String(); got != "SYN|ACK" {
+		t.Errorf("Flags = %q", got)
+	}
+	if got := Flags(0).String(); got != "-" {
+		t.Errorf("empty Flags = %q", got)
+	}
+}
+
+func TestSegmentEnd(t *testing.T) {
+	s := &Segment{Seq: 100, PayloadLen: 50}
+	if s.End() != 150 {
+		t.Errorf("End = %d", s.End())
+	}
+	s.Flags = SYN
+	if s.End() != 151 {
+		t.Errorf("End with SYN = %d", s.End())
+	}
+	s.Flags = SYN | FIN
+	if s.End() != 152 {
+		t.Errorf("End with SYN|FIN = %d", s.End())
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	s := &Segment{Seq: 1, Options: []Option{MSSOption{MSS: 1460}}}
+	c := s.Clone()
+	c.Options[0] = MSSOption{MSS: 9000}
+	if s.Options[0].(MSSOption).MSS != 1460 {
+		t.Error("Clone shares option storage")
+	}
+}
+
+// realistic option stacks (each within the 40-byte TCP option budget).
+var optionStacks = [][]Option{
+	{ // MPTCP SYN
+		MSSOption{MSS: 1460},
+		WindowScaleOption{Shift: 8},
+		SACKPermittedOption{},
+		MPCapableOption{Key: 0xDEADBEEFCAFEF00D},
+	},
+	{ // join SYN
+		MSSOption{MSS: 1400},
+		WindowScaleOption{Shift: 7},
+		SACKPermittedOption{},
+		MPJoinOption{Token: 0xABCD1234, Nonce: 42, AddrID: 3},
+	},
+	{ // data segment with full DSS
+		DSSOption{HasMap: true, HasAck: true, DataSeq: 1 << 40, SubflowSeq: 77, Length: 1460, DataAck: 999, DataFin: true},
+	},
+	{ // pure ACK with SACK blocks and a data-level ACK
+		SACKOption{Blocks: []SACKBlock{{Start: 100, End: 200}, {Start: 400, End: 480}}},
+		DSSOption{HasAck: true, DataAck: 4242},
+	},
+	{ // address advertisement riding on an ACK
+		DSSOption{HasAck: true, DataAck: 1},
+		AddAddrOption{AddrID: 9, Addr: MakeAddr("172.16.0.2", 443)},
+	},
+	{ // timestamps
+		TimestampsOption{Val: 12345, Ecr: 678},
+	},
+	{ // address withdrawal riding on an ACK
+		DSSOption{HasAck: true, DataAck: 7},
+		RemoveAddrOption{AddrID: 2, Addr: MakeAddr("10.0.0.2", 40000)},
+	},
+	{ // connection-level abort
+		FastCloseOption{Key: 0x0123456789ABCDEF},
+	},
+	{ // backup-flagged join
+		MPJoinOption{Token: 0xFEEDF00D, Nonce: 7, AddrID: 1, Backup: true},
+	},
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for i, opts := range optionStacks {
+		s := &Segment{
+			Src:        MakeAddr("10.0.0.2", 40000),
+			Dst:        MakeAddr("192.168.1.1", 8080),
+			Seq:        0xDEAD0001,
+			Ack:        0xBEEF0002,
+			Flags:      ACK | PSH,
+			Window:     31000,
+			PayloadLen: 777,
+			Options:    opts,
+		}
+		b := Encode(s)
+		if err := VerifyChecksums(b); err != nil {
+			t.Fatalf("stack %d: checksums: %v", i, err)
+		}
+		if len(b) != s.WireSize() {
+			t.Errorf("stack %d: encoded %d bytes, WireSize says %d", i, len(b), s.WireSize())
+		}
+		d, err := Decode(b)
+		if err != nil {
+			t.Fatalf("stack %d: decode: %v", i, err)
+		}
+		if d.Src != s.Src || d.Dst != s.Dst || d.Seq != s.Seq || d.Ack != s.Ack ||
+			d.Flags != s.Flags || d.PayloadLen != s.PayloadLen {
+			t.Errorf("stack %d: header mismatch: got %v want %v", i, d, s)
+		}
+		if !reflect.DeepEqual(d.Options, s.Options) {
+			t.Errorf("stack %d: options mismatch:\n got  %#v\n want %#v", i, d.Options, s.Options)
+		}
+	}
+}
+
+// Options beyond the 40-byte TCP budget are dropped, never corrupting
+// the frame.
+func TestOptionBudgetOverflow(t *testing.T) {
+	s := &Segment{
+		Src: MakeAddr("1.1.1.1", 1), Dst: MakeAddr("2.2.2.2", 2),
+		Flags: ACK, PayloadLen: 10,
+		Options: []Option{
+			DSSOption{HasMap: true, HasAck: true, Length: 10},       // 28 bytes
+			SACKOption{Blocks: []SACKBlock{{1, 2}, {3, 4}, {5, 6}}}, // 26: overflows
+			AddAddrOption{AddrID: 1, Addr: MakeAddr("3.3.3.3", 3)},  // 10: still fits
+		},
+	}
+	b := Encode(s)
+	if err := VerifyChecksums(b); err != nil {
+		t.Fatalf("checksums: %v", err)
+	}
+	d, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if d.Option(KindSACK) != nil {
+		t.Error("over-budget SACK survived")
+	}
+	if d.MPTCP(SubDSS) == nil || d.MPTCP(SubAddAddr) == nil {
+		t.Error("fitting options were dropped")
+	}
+}
+
+// Any segment built from random fields round-trips through the wire.
+func TestWireRoundTripProperty(t *testing.T) {
+	f := func(seq, ack uint32, flagBits uint8, payload uint16, win uint16,
+		key uint64, dseq uint64) bool {
+		flags := Flags(flagBits) & (SYN | ACK | FIN | RST | PSH)
+		s := &Segment{
+			Src:        MakeAddr("10.0.0.1", 1234),
+			Dst:        MakeAddr("10.0.0.2", 80),
+			Seq:        seq,
+			Ack:        ack,
+			Flags:      flags,
+			Window:     uint32(win),
+			PayloadLen: int(payload % 1461),
+			Options: []Option{
+				MPCapableOption{Key: key},
+				DSSOption{HasMap: true, HasAck: true, DataSeq: dseq, SubflowSeq: seq, Length: uint16(payload % 1461), DataAck: dseq >> 1},
+			},
+			// (MP_CAPABLE 12 + DSS 28 = 40 bytes: exactly the budget.)
+		}
+		b := Encode(s)
+		if VerifyChecksums(b) != nil {
+			return false
+		}
+		d, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return d.Seq == s.Seq && d.Ack == s.Ack && d.Flags == s.Flags &&
+			d.PayloadLen == s.PayloadLen && reflect.DeepEqual(d.Options, s.Options)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x45},
+		make([]byte, 19),
+		append([]byte{0x65}, make([]byte, 30)...), // IPv6 version nibble
+	}
+	for i, b := range cases {
+		if _, err := Decode(b); err == nil {
+			t.Errorf("case %d: decode accepted garbage", i)
+		}
+	}
+	// Non-TCP protocol.
+	s := &Segment{Src: MakeAddr("1.2.3.4", 1), Dst: MakeAddr("5.6.7.8", 2)}
+	b := Encode(s)
+	b[9] = 17 // UDP
+	if _, err := Decode(b); err == nil {
+		t.Error("decode accepted UDP frame")
+	}
+}
+
+func TestCorruptedChecksumDetected(t *testing.T) {
+	s := &Segment{
+		Src: MakeAddr("10.0.0.1", 5), Dst: MakeAddr("10.0.0.2", 6),
+		PayloadLen: 100, Flags: ACK,
+	}
+	b := Encode(s)
+	b[len(b)-1] ^= 0xFF
+	if VerifyChecksums(b) == nil {
+		t.Error("flipped payload byte not caught by TCP checksum")
+	}
+}
+
+func TestOptionLookup(t *testing.T) {
+	s := &Segment{}
+	s.AddOption(MSSOption{MSS: 1400})
+	s.AddOption(DSSOption{HasAck: true, DataAck: 5})
+	if s.Option(KindMSS) == nil {
+		t.Error("MSS lookup failed")
+	}
+	if s.Option(KindSACK) != nil {
+		t.Error("found absent option")
+	}
+	if s.MPTCP(SubDSS) == nil {
+		t.Error("DSS lookup failed")
+	}
+	if s.MPTCP(SubMPJoin) != nil {
+		t.Error("found absent MPTCP subtype")
+	}
+}
+
+func TestDecodeOptionsIgnoresUnknownKinds(t *testing.T) {
+	// kind 254 (experimental), length 4, two payload bytes, then MSS.
+	raw := []byte{254, 4, 0, 0, byte(KindMSS), 4, 5, 0xB4}
+	opts, err := decodeOptions(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(opts) != 1 || opts[0].Kind() != KindMSS {
+		t.Errorf("opts = %#v", opts)
+	}
+}
+
+func TestDecodeOptionsTruncated(t *testing.T) {
+	if _, err := decodeOptions([]byte{byte(KindMSS), 10, 1}); err == nil {
+		t.Error("accepted option longer than buffer")
+	}
+	if _, err := decodeOptions([]byte{byte(KindMSS)}); err == nil {
+		t.Error("accepted truncated option header")
+	}
+}

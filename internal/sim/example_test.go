@@ -1,0 +1,35 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"mptcplab/internal/sim"
+)
+
+// A discrete-event simulation: schedule callbacks in virtual time and
+// run the clock forward.
+func Example() {
+	s := sim.New()
+	s.After(10*sim.Millisecond, "hello", func() {
+		fmt.Println("fired at", s.Now())
+	})
+	s.After(5*sim.Millisecond, "first", func() {
+		fmt.Println("fired at", s.Now())
+	})
+	s.Run()
+	// Output:
+	// fired at 5ms
+	// fired at 10ms
+}
+
+// Timers re-arm like time.Timer but in virtual time — the building
+// block of TCP's retransmission machinery.
+func ExampleTimer() {
+	s := sim.New()
+	t := sim.NewTimer(s, "rto", func() { fmt.Println("timeout at", s.Now()) })
+	t.Reset(200 * sim.Millisecond)
+	t.Reset(300 * sim.Millisecond) // replaces the earlier deadline
+	s.Run()
+	// Output:
+	// timeout at 300ms
+}

@@ -1,0 +1,264 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// A Simulator owns a virtual clock and a priority queue of pending
+// events. Components schedule callbacks at absolute or relative virtual
+// times; the Run loop executes them in timestamp order. Ties are broken
+// by scheduling order, so a simulation is fully reproducible given the
+// same inputs and RNG seeds.
+//
+// The engine is single-threaded by design: network protocol state
+// machines are much easier to reason about (and to debug) when every
+// event handler runs to completion before the next one starts. All of
+// mptcplab's substrates (queues, links, TCP endpoints, MPTCP
+// connections, applications) are driven by one Simulator instance.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since the start
+// of the simulation. It is a distinct type so that wall-clock values
+// cannot be mixed in by accident.
+type Time time.Duration
+
+// Common virtual-time constants.
+const (
+	Millisecond Time = Time(time.Millisecond)
+	Microsecond Time = Time(time.Microsecond)
+	Second      Time = Time(time.Second)
+	Minute      Time = Time(time.Minute)
+
+	// MaxTime is the largest representable virtual time. It is used as
+	// an "infinite" deadline by timers that are currently disabled.
+	MaxTime Time = Time(math.MaxInt64)
+)
+
+// Duration converts t to a time.Duration since simulation start.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t in (fractional) seconds.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Milliseconds reports t in (fractional) milliseconds.
+func (t Time) Milliseconds() float64 {
+	return float64(time.Duration(t)) / float64(time.Millisecond)
+}
+
+// String formats the time like a time.Duration.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Event is a scheduled callback. The zero Event is invalid; events are
+// created by the Simulator's scheduling methods.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among equal timestamps
+	fn   func()
+	name string // for debugging
+	idx  int    // heap index; -1 when not queued
+	dead bool   // cancelled
+}
+
+// Time reports when the event will fire.
+func (e *Event) Time() Time { return e.at }
+
+// Name reports the debug label given at scheduling time.
+func (e *Event) Name() string { return e.name }
+
+// Cancelled reports whether Cancel was called on the event.
+func (e *Event) Cancelled() bool { return e.dead }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator is a discrete-event scheduler with a virtual clock.
+// The zero value is ready to use.
+type Simulator struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	ran     uint64
+	running bool
+	stopped bool
+}
+
+// New returns a fresh Simulator with its clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now reports the current virtual time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Processed reports how many events have been executed so far.
+func (s *Simulator) Processed() uint64 { return s.ran }
+
+// Pending reports how many events are queued (including cancelled
+// events that have not yet been discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past (before Now) panics: that is always a protocol-logic bug and
+// silently reordering events would corrupt causality.
+func (s *Simulator) At(at Time, name string, fn func()) *Event {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, at, s.now))
+	}
+	e := &Event{at: at, seq: s.nextSeq, fn: fn, name: name}
+	s.nextSeq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Simulator) After(d Time, name string, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now+d, name, fn)
+}
+
+// Cancel removes e from the schedule. Cancelling a nil, already-fired,
+// or already-cancelled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.dead {
+		return
+	}
+	e.dead = true
+	if e.idx >= 0 {
+		heap.Remove(&s.queue, e.idx)
+	}
+}
+
+// Stop makes Run return after the currently executing event handler
+// (if any) completes.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Step executes the single next event, if any, and reports whether one
+// was executed.
+func (s *Simulator) Step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.dead {
+			continue
+		}
+		s.now = e.at
+		e.dead = true
+		s.ran++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Simulator) Run() {
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, advancing the
+// clock to exactly deadline when the queue runs dry earlier.
+func (s *Simulator) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			break
+		}
+		// Peek.
+		if s.queue[0].at > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor executes events for d of virtual time from now.
+func (s *Simulator) RunFor(d Time) { s.RunUntil(s.now + d) }
+
+// Timer is a restartable one-shot timer bound to a Simulator, in the
+// style of time.Timer but in virtual time. It is the building block
+// for TCP retransmission and delayed-ACK timers.
+type Timer struct {
+	sim  *Simulator
+	name string
+	fn   func()
+	ev   *Event
+}
+
+// NewTimer returns a stopped timer that will invoke fn when it fires.
+func NewTimer(s *Simulator, name string, fn func()) *Timer {
+	return &Timer{sim: s, name: name, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, replacing any pending
+// expiry.
+func (t *Timer) Reset(d Time) {
+	t.Stop()
+	t.ev = t.sim.After(d, t.name, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// ResetAt (re)arms the timer to fire at absolute time at.
+func (t *Timer) ResetAt(at Time) {
+	t.Stop()
+	t.ev = t.sim.At(at, t.name, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop disarms the timer if it is pending.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.sim.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer currently has a pending expiry.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline reports when the timer will fire, or MaxTime if disarmed.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return MaxTime
+	}
+	return t.ev.at
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimestampOrder(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30*Millisecond, "c", func() { got = append(got, 3) })
+	s.At(10*Millisecond, "a", func() { got = append(got, 1) })
+	s.At(20*Millisecond, "b", func() { got = append(got, 2) })
+	s.Run()
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("order = %v, want [1 2 3]", got)
+	}
+	if s.Now() != 30*Millisecond {
+		t.Errorf("clock = %v, want 30ms", s.Now())
+	}
+}
+
+func TestTiesBreakFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(Millisecond, "tie", func() { got = append(got, i) })
+	}
+	s.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("tie order = %v, want FIFO", got)
+		}
+	}
+}
+
+func TestSchedulingInsideHandlers(t *testing.T) {
+	s := New()
+	depth := 0
+	var recur func()
+	recur = func() {
+		if depth++; depth < 100 {
+			s.After(Millisecond, "recur", recur)
+		}
+	}
+	s.After(0, "start", recur)
+	s.Run()
+	if depth != 100 {
+		t.Errorf("depth = %d, want 100", depth)
+	}
+	if s.Now() != 99*Millisecond {
+		t.Errorf("clock = %v, want 99ms", s.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(Millisecond, "x", func() { fired = true })
+	s.Cancel(e)
+	s.Cancel(e) // double-cancel is a no-op
+	s.Cancel(nil)
+	s.Run()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(10*Millisecond, "later", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		s.At(5*Millisecond, "past", func() {})
+	})
+	s.Run()
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New()
+	ran := false
+	s.At(50*Millisecond, "x", func() { ran = true })
+	s.RunUntil(20 * Millisecond)
+	if ran {
+		t.Error("future event ran early")
+	}
+	if s.Now() != 20*Millisecond {
+		t.Errorf("clock = %v, want 20ms", s.Now())
+	}
+	s.RunUntil(100 * Millisecond)
+	if !ran {
+		t.Error("event did not run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		s.At(Time(i)*Millisecond, "n", func() {
+			count++
+			if count == 3 {
+				s.Stop()
+			}
+		})
+	}
+	s.Run()
+	if count != 3 {
+		t.Errorf("ran %d events after Stop, want 3", count)
+	}
+	s.Run() // resume
+	if count != 10 {
+		t.Errorf("ran %d events total, want 10", count)
+	}
+}
+
+func TestTimerResetReplacesExpiry(t *testing.T) {
+	s := New()
+	fired := 0
+	tm := NewTimer(s, "t", func() { fired++ })
+	tm.Reset(10 * Millisecond)
+	tm.Reset(20 * Millisecond) // replaces, does not add
+	s.Run()
+	if fired != 1 {
+		t.Errorf("timer fired %d times, want 1", fired)
+	}
+	if s.Now() != 20*Millisecond {
+		t.Errorf("fired at %v, want 20ms", s.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New()
+	tm := NewTimer(s, "t", func() { t.Error("stopped timer fired") })
+	tm.Reset(Millisecond)
+	if !tm.Armed() {
+		t.Error("timer not armed after Reset")
+	}
+	tm.Stop()
+	if tm.Armed() {
+		t.Error("timer armed after Stop")
+	}
+	if tm.Deadline() != MaxTime {
+		t.Error("stopped timer has a deadline")
+	}
+	s.Run()
+}
+
+// TestEventOrderProperty: any multiset of scheduled times executes in
+// non-decreasing order.
+func TestEventOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		s := New()
+		var seen []Time
+		for _, o := range offsets {
+			at := Time(o) * Microsecond
+			s.At(at, "p", func() { seen = append(seen, s.Now()) })
+		}
+		s.Run()
+		for i := 1; i < len(seen); i++ {
+			if seen[i] < seen[i-1] {
+				return false
+			}
+		}
+		return len(seen) == len(offsets)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(99)
+	b := NewRNG(99)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	ca := NewRNG(99).Child("x")
+	cb := NewRNG(99).Child("x")
+	if ca.Int63() != cb.Int63() {
+		t.Error("same-labeled children differ")
+	}
+	cc := NewRNG(99).Child("y")
+	cd := NewRNG(99).Child("x")
+	if cc.Int63() == cd.Int63() {
+		t.Error("differently-labeled children coincide")
+	}
+}
+
+func TestRNGDistributions(t *testing.T) {
+	g := NewRNG(5)
+	n := 20000
+	// Bool(p) hits roughly p.
+	hits := 0
+	for i := 0; i < n; i++ {
+		if g.Bool(0.3) {
+			hits++
+		}
+	}
+	if frac := float64(hits) / float64(n); frac < 0.27 || frac > 0.33 {
+		t.Errorf("Bool(0.3) rate %.3f", frac)
+	}
+	// Pareto samples are >= xm.
+	for i := 0; i < 1000; i++ {
+		if v := g.Pareto(2.0, 1.5); v < 2.0 {
+			t.Fatalf("Pareto sample %v below xm", v)
+		}
+	}
+	// Exponential mean roughly right.
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += g.Exponential(5)
+	}
+	if mean := sum / float64(n); mean < 4.5 || mean > 5.5 {
+		t.Errorf("Exponential(5) mean %.2f", mean)
+	}
+	// Uniform bounds.
+	for i := 0; i < 1000; i++ {
+		if v := g.Uniform(3, 7); v < 3 || v >= 7 {
+			t.Fatalf("Uniform(3,7) sample %v out of range", v)
+		}
+	}
+	// Duration bounds and degenerate range.
+	if d := g.Duration(5*Millisecond, 5*Millisecond); d != 5*Millisecond {
+		t.Errorf("degenerate Duration = %v", d)
+	}
+	for i := 0; i < 1000; i++ {
+		d := g.Duration(Millisecond, Second)
+		if d < Millisecond || d >= Second {
+			t.Fatalf("Duration sample %v out of range", d)
+		}
+	}
+}
+
+func TestBoolEdgeCases(t *testing.T) {
+	g := NewRNG(1)
+	if g.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+	if !g.Bool(1) {
+		t.Error("Bool(1) returned false")
+	}
+	if g.Bool(-5) {
+		t.Error("Bool(-5) returned true")
+	}
+}
+
+func TestTimeFormatting(t *testing.T) {
+	if (1500 * Millisecond).Seconds() != 1.5 {
+		t.Error("Seconds conversion wrong")
+	}
+	if (2 * Millisecond).Milliseconds() != 2.0 {
+		t.Error("Milliseconds conversion wrong")
+	}
+	if (3 * Second).String() != "3s" {
+		t.Errorf("String = %q", (3 * Second).String())
+	}
+}

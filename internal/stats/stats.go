@@ -1,0 +1,211 @@
+// Package stats provides the summary statistics the paper reports:
+// sample mean ± standard error (Tables 2-7), box-and-whisker summaries
+// (Figures 2, 4, 6, 8, 9, 11), and CDF/CCDF series (Figures 12, 13).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample is a growing collection of float64 observations.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// New returns an empty sample.
+func New() *Sample { return &Sample{} }
+
+// Of builds a sample from values.
+func Of(xs ...float64) *Sample {
+	s := New()
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+// Add appends one observation.
+func (s *Sample) Add(x float64) {
+	s.xs = append(s.xs, x)
+	s.sorted = false
+}
+
+// AddAll appends many observations.
+func (s *Sample) AddAll(xs []float64) {
+	s.xs = append(s.xs, xs...)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.xs) }
+
+// Values returns the observations in sorted order. The returned slice
+// aliases internal storage; treat it as read-only.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	return s.xs
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Mean reports the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range s.xs {
+		sum += x
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Var reports the unbiased sample variance.
+func (s *Sample) Var() float64 {
+	n := len(s.xs)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	var ss float64
+	for _, x := range s.xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Var()) }
+
+// Stderr reports the standard error of the mean — the "± " the paper's
+// tables quote.
+func (s *Sample) Stderr() float64 {
+	if len(s.xs) < 2 {
+		return 0
+	}
+	return s.Stddev() / math.Sqrt(float64(len(s.xs)))
+}
+
+// Min reports the smallest observation.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[0]
+}
+
+// Max reports the largest observation.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.sort()
+	return s.xs[len(s.xs)-1]
+}
+
+// Quantile reports the q-quantile (0 <= q <= 1) by linear
+// interpolation between order statistics.
+func (s *Sample) Quantile(q float64) float64 {
+	n := len(s.xs)
+	if n == 0 {
+		return 0
+	}
+	s.sort()
+	if q <= 0 {
+		return s.xs[0]
+	}
+	if q >= 1 {
+		return s.xs[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= n {
+		return s.xs[n-1]
+	}
+	return s.xs[lo]*(1-frac) + s.xs[lo+1]*frac
+}
+
+// Median reports the 0.5 quantile.
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// MeanStderr formats "mean±stderr" as the paper's tables do.
+func (s *Sample) MeanStderr() string {
+	return fmt.Sprintf("%.2f±%.2f", s.Mean(), s.Stderr())
+}
+
+// Box is a five-number box-and-whisker summary (the paper's download
+// time figures: min, Q1, median, Q3, max).
+type Box struct {
+	Min, Q1, Median, Q3, Max float64
+	N                        int
+}
+
+// BoxSummary computes the box-plot summary of the sample.
+func (s *Sample) BoxSummary() Box {
+	return Box{
+		Min:    s.Min(),
+		Q1:     s.Quantile(0.25),
+		Median: s.Median(),
+		Q3:     s.Quantile(0.75),
+		Max:    s.Max(),
+		N:      s.N(),
+	}
+}
+
+// String renders the box compactly.
+func (b Box) String() string {
+	return fmt.Sprintf("[%.3g | %.3g ▁%.3g▁ %.3g | %.3g] n=%d",
+		b.Min, b.Q1, b.Median, b.Q3, b.Max, b.N)
+}
+
+// CCDF returns the complementary CDF evaluated at each of the given
+// thresholds: P(X > t).
+func (s *Sample) CCDF(thresholds []float64) []float64 {
+	s.sort()
+	out := make([]float64, len(thresholds))
+	n := float64(len(s.xs))
+	if n == 0 {
+		return out
+	}
+	for i, t := range thresholds {
+		// Count of xs > t = n - upperBound(t).
+		idx := sort.SearchFloat64s(s.xs, math.Nextafter(t, math.Inf(1)))
+		out[i] = float64(len(s.xs)-idx) / n
+	}
+	return out
+}
+
+// CCDFAt reports P(X > t).
+func (s *Sample) CCDFAt(t float64) float64 {
+	return s.CCDF([]float64{t})[0]
+}
+
+// FractionAbove is an alias of CCDFAt for readability at call sites.
+func (s *Sample) FractionAbove(t float64) float64 { return s.CCDFAt(t) }
+
+// LogSpace generates n logarithmically spaced points in [lo, hi],
+// matching the paper's log-scale CCDF axes.
+func LogSpace(lo, hi float64, n int) []float64 {
+	if n < 2 || lo <= 0 || hi <= lo {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	ratio := math.Pow(hi/lo, 1/float64(n-1))
+	x := lo
+	for i := range out {
+		out[i] = x
+		x *= ratio
+	}
+	return out
+}

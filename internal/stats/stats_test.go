@@ -1,0 +1,169 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStddevStderr(t *testing.T) {
+	s := Of(2, 4, 4, 4, 5, 5, 7, 9)
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Known population: sample variance = 32/7.
+	if got := s.Var(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Var = %v, want %v", got, 32.0/7)
+	}
+	wantSE := math.Sqrt(32.0/7) / math.Sqrt(8)
+	if got := s.Stderr(); math.Abs(got-wantSE) > 1e-12 {
+		t.Errorf("Stderr = %v, want %v", got, wantSE)
+	}
+}
+
+func TestEmptyAndSingleton(t *testing.T) {
+	e := New()
+	if e.Mean() != 0 || e.Stderr() != 0 || e.Min() != 0 || e.Max() != 0 || e.Median() != 0 {
+		t.Error("empty sample statistics not all zero")
+	}
+	s := Of(42)
+	if s.Mean() != 42 || s.Median() != 42 || s.Stderr() != 0 {
+		t.Error("singleton statistics wrong")
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	s := Of(1, 2, 3, 4, 5)
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5},
+		{-1, 1}, {2, 5}, // clamped
+		{0.1, 1.4}, // interpolated
+	}
+	for _, c := range cases {
+		if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestBoxSummary(t *testing.T) {
+	s := Of(10, 20, 30, 40, 50)
+	b := s.BoxSummary()
+	if b.Min != 10 || b.Q1 != 20 || b.Median != 30 || b.Q3 != 40 || b.Max != 50 || b.N != 5 {
+		t.Errorf("Box = %+v", b)
+	}
+	if b.String() == "" {
+		t.Error("Box.String empty")
+	}
+}
+
+func TestCCDF(t *testing.T) {
+	s := Of(1, 2, 3, 4)
+	got := s.CCDF([]float64{0, 1, 2.5, 4, 5})
+	want := []float64{1, 0.75, 0.5, 0, 0}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("CCDF[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if s.FractionAbove(0) != 1 {
+		t.Error("FractionAbove(0) != 1")
+	}
+	// CCDF at exactly a data value excludes it: P(X > 4) = 0.
+	if s.CCDFAt(4) != 0 {
+		t.Errorf("CCDFAt(4) = %v", s.CCDFAt(4))
+	}
+}
+
+func TestCCDFMonotoneProperty(t *testing.T) {
+	f := func(xs []float64, ts []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		s := New()
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				s.Add(x)
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		clean := ts[:0]
+		for _, v := range ts {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				clean = append(clean, v)
+			}
+		}
+		sort.Float64s(clean)
+		ps := s.CCDF(clean)
+		for i := 1; i < len(ps); i++ {
+			if ps[i] > ps[i-1]+1e-12 {
+				return false
+			}
+		}
+		for _, p := range ps {
+			if p < 0 || p > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileOrderProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		s := New()
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				s.Add(x)
+			}
+		}
+		if s.N() == 0 {
+			return true
+		}
+		q25, q50, q75 := s.Quantile(0.25), s.Quantile(0.5), s.Quantile(0.75)
+		return s.Min() <= q25 && q25 <= q50 && q50 <= q75 && q75 <= s.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogSpace(t *testing.T) {
+	pts := LogSpace(10, 1000, 3)
+	want := []float64{10, 100, 1000}
+	for i := range want {
+		if math.Abs(pts[i]-want[i]) > 1e-9 {
+			t.Errorf("LogSpace[%d] = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	if got := LogSpace(0, 10, 5); len(got) != 1 {
+		t.Error("LogSpace with lo=0 should degrade to single point")
+	}
+}
+
+func TestMeanStderrFormat(t *testing.T) {
+	s := Of(1, 2, 3)
+	if got := s.MeanStderr(); got != "2.00±0.58" {
+		t.Errorf("MeanStderr = %q", got)
+	}
+}
+
+func TestAddAllAndValues(t *testing.T) {
+	s := New()
+	s.AddAll([]float64{3, 1, 2})
+	v := s.Values()
+	if v[0] != 1 || v[1] != 2 || v[2] != 3 {
+		t.Errorf("Values not sorted: %v", v)
+	}
+	// Adding after Values still works.
+	s.Add(0)
+	if s.Min() != 0 {
+		t.Error("Min after late Add wrong")
+	}
+}

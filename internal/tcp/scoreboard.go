@@ -1,0 +1,197 @@
+package tcp
+
+import (
+	"sort"
+
+	"mptcplab/internal/seg"
+)
+
+// sackScoreboard tracks which parts of the unacknowledged send space
+// the peer has selectively acknowledged, in the spirit of RFC 6675.
+// Ranges are half-open [start, end) in sequence space, kept sorted and
+// disjoint.
+type sackScoreboard struct {
+	ranges []seg.SACKBlock
+}
+
+// Add merges a SACK block into the scoreboard.
+func (b *sackScoreboard) Add(blk seg.SACKBlock) {
+	if !seg.SeqLT(blk.Start, blk.End) {
+		return
+	}
+	b.ranges = append(b.ranges, blk)
+	sort.Slice(b.ranges, func(i, j int) bool {
+		return seg.SeqLT(b.ranges[i].Start, b.ranges[j].Start)
+	})
+	merged := b.ranges[:1]
+	for _, r := range b.ranges[1:] {
+		last := &merged[len(merged)-1]
+		if seg.SeqLEQ(r.Start, last.End) {
+			if seg.SeqGT(r.End, last.End) {
+				last.End = r.End
+			}
+		} else {
+			merged = append(merged, r)
+		}
+	}
+	b.ranges = merged
+}
+
+// AdvanceUna drops ranges at or below the new cumulative ACK point.
+func (b *sackScoreboard) AdvanceUna(una uint32) {
+	out := b.ranges[:0]
+	for _, r := range b.ranges {
+		if seg.SeqLEQ(r.End, una) {
+			continue
+		}
+		if seg.SeqLT(r.Start, una) {
+			r.Start = una
+		}
+		out = append(out, r)
+	}
+	b.ranges = out
+}
+
+// IsSacked reports whether the whole range [start,end) is covered.
+func (b *sackScoreboard) IsSacked(start, end uint32) bool {
+	for _, r := range b.ranges {
+		if seg.SeqLEQ(r.Start, start) && seg.SeqGEQ(r.End, end) {
+			return true
+		}
+	}
+	return false
+}
+
+// SackedAbove reports the number of SACKed bytes at or above seqn.
+func (b *sackScoreboard) SackedAbove(seqn uint32) int64 {
+	var n int64
+	for _, r := range b.ranges {
+		start, end := r.Start, r.End
+		if seg.SeqLT(start, seqn) {
+			start = seqn
+		}
+		if seg.SeqLT(start, end) {
+			n += int64(end - start)
+		}
+	}
+	return n
+}
+
+// TotalSacked reports the number of bytes currently SACKed.
+func (b *sackScoreboard) TotalSacked() int64 {
+	var n int64
+	for _, r := range b.ranges {
+		n += int64(r.End - r.Start)
+	}
+	return n
+}
+
+// HighestSacked returns the top SACKed sequence, or una if none.
+func (b *sackScoreboard) HighestSacked(una uint32) uint32 {
+	if len(b.ranges) == 0 {
+		return una
+	}
+	return b.ranges[len(b.ranges)-1].End
+}
+
+// Reset clears the scoreboard.
+func (b *sackScoreboard) Reset() { b.ranges = b.ranges[:0] }
+
+// rcvRanges tracks out-of-order received spans on the receive side,
+// both to generate SACK blocks and to know when arriving data is
+// duplicate. Ranges are sorted, disjoint, all above rcvNxt.
+type rcvRanges struct {
+	ranges []seg.SACKBlock
+	recent seg.SACKBlock // most recently changed block, reported first
+}
+
+// Add records an arrived span.
+func (r *rcvRanges) Add(start, end uint32) {
+	if !seg.SeqLT(start, end) {
+		return
+	}
+	r.recent = seg.SACKBlock{Start: start, End: end}
+	r.ranges = append(r.ranges, r.recent)
+	sort.Slice(r.ranges, func(i, j int) bool {
+		return seg.SeqLT(r.ranges[i].Start, r.ranges[j].Start)
+	})
+	merged := r.ranges[:1]
+	for _, x := range r.ranges[1:] {
+		last := &merged[len(merged)-1]
+		if seg.SeqLEQ(x.Start, last.End) {
+			if seg.SeqGT(x.End, last.End) {
+				last.End = x.End
+			}
+		} else {
+			merged = append(merged, x)
+		}
+	}
+	r.ranges = merged
+}
+
+// NextContiguous reports how far rcvNxt can advance given the stored
+// ranges, consuming any range that begins at or below rcvNxt.
+func (r *rcvRanges) NextContiguous(rcvNxt uint32) uint32 {
+	out := r.ranges[:0]
+	for _, x := range r.ranges {
+		if seg.SeqLEQ(x.Start, rcvNxt) {
+			if seg.SeqGT(x.End, rcvNxt) {
+				rcvNxt = x.End
+			}
+			continue
+		}
+		out = append(out, x)
+	}
+	r.ranges = out
+	return rcvNxt
+}
+
+// Blocks renders up to max SACK blocks, most recently updated first,
+// as RFC 2018 specifies.
+func (r *rcvRanges) Blocks(max int) []seg.SACKBlock {
+	if len(r.ranges) == 0 {
+		return nil
+	}
+	blocks := make([]seg.SACKBlock, 0, max)
+	// Most recent first.
+	for _, x := range r.ranges {
+		if seg.SeqLEQ(x.Start, r.recent.Start) && seg.SeqGEQ(x.End, r.recent.End) {
+			blocks = append(blocks, x)
+			break
+		}
+	}
+	for i := len(r.ranges) - 1; i >= 0 && len(blocks) < max; i-- {
+		x := r.ranges[i]
+		dup := false
+		for _, bseen := range blocks {
+			if bseen == x {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			blocks = append(blocks, x)
+		}
+	}
+	return blocks
+}
+
+// Contains reports whether [start,end) has already been received
+// out-of-order.
+func (r *rcvRanges) Contains(start, end uint32) bool {
+	for _, x := range r.ranges {
+		if seg.SeqLEQ(x.Start, start) && seg.SeqGEQ(x.End, end) {
+			return true
+		}
+	}
+	return false
+}
+
+// BufferedBytes reports the total bytes held out-of-order.
+func (r *rcvRanges) BufferedBytes() int64 {
+	var n int64
+	for _, x := range r.ranges {
+		n += int64(x.End - x.Start)
+	}
+	return n
+}

@@ -1,0 +1,57 @@
+package trace
+
+import (
+	"io"
+
+	"mptcplab/internal/netem"
+	"mptcplab/internal/pcap"
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+)
+
+// PcapTap returns a host tap (tcpdump analog) that encodes every
+// packet crossing the host's interfaces to a pcap stream.
+func PcapTap(w *pcap.Writer) netem.Tap {
+	return func(dir netem.Direction, at sim.Time, s *seg.Segment) {
+		// Both directions are captured, as tcpdump would; the frame
+		// itself identifies direction via its addresses.
+		_ = dir
+		_ = w.WritePacket(pcap.Packet{TS: int64(at), Data: seg.Encode(s)})
+	}
+}
+
+// MemoryCapture collects decoded packets in memory — the fast path
+// for in-process trace analysis without a file round trip.
+type MemoryCapture struct {
+	Packets []*Packet
+}
+
+// Tap returns the netem.Tap feeding this capture.
+func (m *MemoryCapture) Tap() netem.Tap {
+	return func(dir netem.Direction, at sim.Time, s *seg.Segment) {
+		_ = dir
+		m.Packets = append(m.Packets, newPacketFromSegment(int64(at), s))
+	}
+}
+
+// Analyze runs a fresh Analyzer over the captured packets.
+func (m *MemoryCapture) Analyze() *Analyzer {
+	a := NewAnalyzer()
+	for _, p := range m.Packets {
+		a.Add(p)
+	}
+	return a
+}
+
+// AnalyzePcap is the one-call path from a capture file to an analysis.
+func AnalyzePcap(r io.Reader) (*Analyzer, error) {
+	pr, err := pcap.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	a := NewAnalyzer()
+	if err := a.AddAll(NewPacketSource(pr)); err != nil {
+		return nil, err
+	}
+	return a, nil
+}

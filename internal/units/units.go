@@ -1,0 +1,83 @@
+// Package units holds the small shared vocabulary of byte counts and
+// link rates used across mptcplab.
+package units
+
+import (
+	"fmt"
+
+	"mptcplab/internal/sim"
+)
+
+// Byte-count constants (powers of two, as in the paper's file sizes).
+const (
+	KB = 1 << 10
+	MB = 1 << 20
+	GB = 1 << 30
+)
+
+// ByteCount is a number of bytes.
+type ByteCount int64
+
+// String renders the count with a binary-prefix unit, e.g. "512KB".
+func (b ByteCount) String() string {
+	switch {
+	case b >= GB && b%GB == 0:
+		return fmt.Sprintf("%dGB", b/GB)
+	case b >= MB && b%MB == 0:
+		return fmt.Sprintf("%dMB", b/MB)
+	case b >= MB:
+		return fmt.Sprintf("%.1fMB", float64(b)/MB)
+	case b >= KB && b%KB == 0:
+		return fmt.Sprintf("%dKB", b/KB)
+	case b >= KB:
+		return fmt.Sprintf("%.1fKB", float64(b)/KB)
+	default:
+		return fmt.Sprintf("%dB", int64(b))
+	}
+}
+
+// BitRate is a link speed in bits per second.
+type BitRate int64
+
+// Common rates.
+const (
+	Kbps BitRate = 1_000
+	Mbps BitRate = 1_000_000
+	Gbps BitRate = 1_000_000_000
+)
+
+// String renders the rate, e.g. "25Mbps".
+func (r BitRate) String() string {
+	switch {
+	case r >= Gbps && r%Gbps == 0:
+		return fmt.Sprintf("%dGbps", r/Gbps)
+	case r >= Mbps && r%Mbps == 0:
+		return fmt.Sprintf("%dMbps", r/Mbps)
+	case r >= Kbps && r%Kbps == 0:
+		return fmt.Sprintf("%dKbps", r/Kbps)
+	default:
+		return fmt.Sprintf("%dbps", int64(r))
+	}
+}
+
+// TransmitTime reports how long a link at rate r takes to serialize n
+// bytes onto the wire.
+func (r BitRate) TransmitTime(n ByteCount) sim.Time {
+	if r <= 0 {
+		return 0
+	}
+	bits := int64(n) * 8
+	// ns = bits * 1e9 / rate, computed to avoid overflow for large n.
+	sec := bits / int64(r)
+	rem := bits % int64(r)
+	return sim.Time(sec)*sim.Second + sim.Time(rem*int64(sim.Second)/int64(r))
+}
+
+// BytesIn reports how many whole bytes rate r delivers in d.
+func (r BitRate) BytesIn(d sim.Time) ByteCount {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	// bytes = rate/8 * seconds
+	return ByteCount(int64(r) / 8 * int64(d) / int64(sim.Second))
+}

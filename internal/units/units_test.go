@@ -1,0 +1,93 @@
+package units
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mptcplab/internal/sim"
+)
+
+func TestByteCountString(t *testing.T) {
+	cases := []struct {
+		in   ByteCount
+		want string
+	}{
+		{512, "512B"},
+		{8 * KB, "8KB"},
+		{512 * KB, "512KB"},
+		{4 * MB, "4MB"},
+		{2 * GB, "2GB"},
+		{1536, "1.5KB"},
+		{3 * MB / 2, "1.5MB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("%d.String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestBitRateString(t *testing.T) {
+	cases := []struct {
+		in   BitRate
+		want string
+	}{
+		{25 * Mbps, "25Mbps"},
+		{1 * Gbps, "1Gbps"},
+		{600 * Kbps, "600Kbps"},
+		{1234, "1234bps"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestTransmitTime(t *testing.T) {
+	// 1500 bytes at 12 Mbps = 1 ms.
+	if got := (12 * Mbps).TransmitTime(1500); got != sim.Millisecond {
+		t.Errorf("TransmitTime = %v, want 1ms", got)
+	}
+	// Zero rate transmits instantly (infinite-speed link).
+	if got := BitRate(0).TransmitTime(1500); got != 0 {
+		t.Errorf("zero-rate TransmitTime = %v", got)
+	}
+	// Large transfers do not overflow: 512 MB at 1 Gbps ≈ 4.29 s.
+	got := (1 * Gbps).TransmitTime(512 * MB)
+	want := sim.Time(float64(512*MB*8) / 1e9 * float64(sim.Second))
+	diff := got - want
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > sim.Millisecond {
+		t.Errorf("512MB@1Gbps = %v, want ≈%v", got, want)
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (8 * Mbps).BytesIn(sim.Second); got != 1_000_000 {
+		t.Errorf("8Mbps over 1s = %d bytes, want 1e6", got)
+	}
+	if got := (8 * Mbps).BytesIn(0); got != 0 {
+		t.Errorf("zero duration = %d", got)
+	}
+}
+
+// TransmitTime and BytesIn are approximate inverses.
+func TestRateRoundTripProperty(t *testing.T) {
+	f := func(kb uint16, mbps uint8) bool {
+		n := ByteCount(kb)*KB + 1
+		r := BitRate(int64(mbps)+1) * Mbps
+		d := r.TransmitTime(n)
+		back := r.BytesIn(d)
+		diff := int64(back - n)
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff <= 2 // integer rounding
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

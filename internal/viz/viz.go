@@ -1,0 +1,276 @@
+// Package viz renders the paper's two figure styles — box-and-whisker
+// download-time plots and log-scale CCDF curves — as terminal
+// graphics, so paperbench output visually mirrors the figures it
+// regenerates.
+package viz
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"mptcplab/internal/stats"
+)
+
+// BoxPlot renders horizontal box-and-whisker rows on one shared axis,
+// like the paper's per-size download-time panels.
+type BoxPlot struct {
+	// Title is printed above the plot.
+	Title string
+	// Unit labels the axis (e.g. "s").
+	Unit string
+	// Width is the plot area in characters (default 60).
+	Width int
+	// Log selects a logarithmic axis, useful when configurations span
+	// orders of magnitude (SP-Sprint vs MPTCP).
+	Log bool
+
+	rows []boxRow
+}
+
+type boxRow struct {
+	label string
+	box   stats.Box
+}
+
+// Add appends one labeled box.
+func (p *BoxPlot) Add(label string, b stats.Box) {
+	p.rows = append(p.rows, boxRow{label: label, box: b})
+}
+
+func (p *BoxPlot) width() int {
+	if p.Width <= 0 {
+		return 60
+	}
+	return p.Width
+}
+
+// Render draws the plot.
+//
+//	SP-WiFi   ├──────[▒▒▒▒│▒▒]────┤
+//	MP-ATT    ├─[▒│▒]─┤
+func (p *BoxPlot) Render(w io.Writer) {
+	if len(p.rows) == 0 {
+		return
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	labelW := 0
+	for _, r := range p.rows {
+		lo = math.Min(lo, r.box.Min)
+		hi = math.Max(hi, r.box.Max)
+		if len(r.label) > labelW {
+			labelW = len(r.label)
+		}
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	scale := p.scaler(lo, hi)
+
+	if p.Title != "" {
+		fmt.Fprintf(w, "%s\n", p.Title)
+	}
+	for _, r := range p.rows {
+		line := make([]rune, p.width())
+		for i := range line {
+			line[i] = ' '
+		}
+		set := func(pos int, ch rune) {
+			if pos >= 0 && pos < len(line) {
+				line[pos] = ch
+			}
+		}
+		b := r.box
+		iMin, iQ1, iMed, iQ3, iMax := scale(b.Min), scale(b.Q1), scale(b.Median), scale(b.Q3), scale(b.Max)
+		for i := iMin; i <= iMax; i++ {
+			set(i, '─')
+		}
+		for i := iQ1; i <= iQ3; i++ {
+			set(i, '▒')
+		}
+		set(iMin, '├')
+		set(iMax, '┤')
+		set(iMed, '│')
+		fmt.Fprintf(w, "  %-*s %s  %s\n", labelW, r.label, string(line),
+			fmtVal(b.Median)+p.Unit)
+	}
+	// Axis line with end labels.
+	fmt.Fprintf(w, "  %-*s %s\n", labelW, "", strings.Repeat("·", p.width()))
+	fmt.Fprintf(w, "  %-*s %-*s%s\n", labelW, "",
+		p.width()-len(fmtVal(hi)+p.Unit), fmtVal(lo)+p.Unit, fmtVal(hi)+p.Unit)
+}
+
+// scaler maps a value to a column.
+func (p *BoxPlot) scaler(lo, hi float64) func(float64) int {
+	n := p.width() - 1
+	if p.Log && lo > 0 {
+		llo, lhi := math.Log(lo), math.Log(hi)
+		return func(v float64) int {
+			if v <= 0 {
+				return 0
+			}
+			return clamp(int(math.Round((math.Log(v)-llo)/(lhi-llo)*float64(n))), 0, n)
+		}
+	}
+	return func(v float64) int {
+		return clamp(int(math.Round((v-lo)/(hi-lo)*float64(n))), 0, n)
+	}
+}
+
+// LineChart renders one or more (x, y) series on a character grid —
+// the CCDF figures. X may be logarithmic, as in the paper's Figures
+// 12/13.
+type LineChart struct {
+	Title          string
+	XLabel, YLabel string
+	Width, Height  int
+	XLog           bool
+
+	series []chartSeries
+}
+
+type chartSeries struct {
+	name   string
+	xs, ys []float64
+	mark   rune
+}
+
+// seriesMarks are assigned to series in order.
+var seriesMarks = []rune{'●', '○', '▲', '△', '■', '□', '◆', '◇', '*', '+'}
+
+// AddSeries appends a named series; xs and ys must have equal length.
+func (c *LineChart) AddSeries(name string, xs, ys []float64) {
+	mark := seriesMarks[len(c.series)%len(seriesMarks)]
+	c.series = append(c.series, chartSeries{name: name, xs: xs, ys: ys, mark: mark})
+}
+
+func (c *LineChart) dims() (wd, ht int) {
+	wd, ht = c.Width, c.Height
+	if wd <= 0 {
+		wd = 64
+	}
+	if ht <= 0 {
+		ht = 16
+	}
+	return
+}
+
+// Render draws the chart with a legend.
+func (c *LineChart) Render(w io.Writer) {
+	if len(c.series) == 0 {
+		return
+	}
+	wd, ht := c.dims()
+
+	xlo, xhi := math.Inf(1), math.Inf(-1)
+	ylo, yhi := 0.0, 0.0
+	for _, s := range c.series {
+		for i := range s.xs {
+			if c.XLog && s.xs[i] <= 0 {
+				continue
+			}
+			xlo = math.Min(xlo, s.xs[i])
+			xhi = math.Max(xhi, s.xs[i])
+			yhi = math.Max(yhi, s.ys[i])
+		}
+	}
+	if !(xhi > xlo) {
+		xhi = xlo + 1
+	}
+	if yhi <= ylo {
+		yhi = 1
+	}
+
+	xpos := func(x float64) int {
+		if c.XLog {
+			return clamp(int(math.Round((math.Log(x)-math.Log(xlo))/(math.Log(xhi)-math.Log(xlo))*float64(wd-1))), 0, wd-1)
+		}
+		return clamp(int(math.Round((x-xlo)/(xhi-xlo)*float64(wd-1))), 0, wd-1)
+	}
+	ypos := func(y float64) int {
+		// Row 0 is the top.
+		return clamp(ht-1-int(math.Round((y-ylo)/(yhi-ylo)*float64(ht-1))), 0, ht-1)
+	}
+
+	grid := make([][]rune, ht)
+	for i := range grid {
+		grid[i] = make([]rune, wd)
+		for j := range grid[i] {
+			grid[i][j] = ' '
+		}
+	}
+	for _, s := range c.series {
+		prevX, prevY := -1, -1
+		for i := range s.xs {
+			if c.XLog && s.xs[i] <= 0 {
+				continue
+			}
+			gx, gy := xpos(s.xs[i]), ypos(s.ys[i])
+			grid[gy][gx] = s.mark
+			// Fill vertical gaps between consecutive points so steep
+			// CCDF drops read as lines, not dots.
+			if prevX >= 0 && gx > prevX && gy != prevY {
+				step := 1
+				if gy < prevY {
+					step = -1
+				}
+				for y := prevY + step; y != gy; y += step {
+					if grid[y][prevX] == ' ' {
+						grid[y][prevX] = '·'
+					}
+				}
+			}
+			prevX, prevY = gx, gy
+		}
+	}
+
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	for i, row := range grid {
+		tick := "      "
+		switch i {
+		case 0:
+			tick = fmtTick(yhi)
+		case ht - 1:
+			tick = fmtTick(ylo)
+		case ht / 2:
+			tick = fmtTick((yhi + ylo) / 2)
+		}
+		fmt.Fprintf(w, " %6s ┤%s\n", tick, string(row))
+	}
+	fmt.Fprintf(w, "        └%s\n", strings.Repeat("─", wd))
+	fmt.Fprintf(w, "         %-*s%s\n", wd-len(fmtVal(xhi)), fmtVal(xlo), fmtVal(xhi))
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(w, "         x: %s   y: %s\n", c.XLabel, c.YLabel)
+	}
+	for _, s := range c.series {
+		fmt.Fprintf(w, "         %c %s\n", s.mark, s.name)
+	}
+}
+
+func fmtVal(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 1:
+		return fmt.Sprintf("%.3g", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+func fmtTick(v float64) string { return fmt.Sprintf("%6s", fmtVal(v)) }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,95 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"mptcplab/internal/stats"
+)
+
+func TestBoxPlotRender(t *testing.T) {
+	p := &BoxPlot{Title: "download time", Unit: "s", Width: 40}
+	p.Add("SP-WiFi", stats.Box{Min: 1, Q1: 2, Median: 3, Q3: 4, Max: 5, N: 8})
+	p.Add("MP-2", stats.Box{Min: 0.5, Q1: 0.8, Median: 1, Q3: 1.4, Max: 2, N: 8})
+	var sb strings.Builder
+	p.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"download time", "SP-WiFi", "MP-2", "├", "┤", "▒", "│"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("box plot missing %q:\n%s", want, out)
+		}
+	}
+	// Axis endpoints appear.
+	if !strings.Contains(out, "0.5s") || !strings.Contains(out, "5s") {
+		t.Errorf("axis labels missing:\n%s", out)
+	}
+}
+
+func TestBoxPlotLogAxis(t *testing.T) {
+	p := &BoxPlot{Unit: "s", Width: 40, Log: true}
+	p.Add("fast", stats.Box{Min: 0.1, Q1: 0.2, Median: 0.3, Q3: 0.4, Max: 0.5})
+	p.Add("slow", stats.Box{Min: 100, Q1: 200, Median: 300, Q3: 400, Max: 500})
+	var sb strings.Builder
+	p.Render(&sb)
+	lines := strings.Split(sb.String(), "\n")
+	// The fast row's box must sit left of the slow row's box.
+	fastIdx := strings.IndexRune(lines[0], '▒')
+	slowIdx := strings.IndexRune(lines[1], '▒')
+	if fastIdx < 0 || slowIdx < 0 || fastIdx >= slowIdx {
+		t.Errorf("log axis ordering wrong (fast at %d, slow at %d):\n%s", fastIdx, slowIdx, sb.String())
+	}
+}
+
+func TestBoxPlotEmpty(t *testing.T) {
+	var sb strings.Builder
+	(&BoxPlot{}).Render(&sb)
+	if sb.Len() != 0 {
+		t.Error("empty plot produced output")
+	}
+}
+
+func TestBoxPlotDegenerateRange(t *testing.T) {
+	p := &BoxPlot{Width: 20}
+	p.Add("flat", stats.Box{Min: 2, Q1: 2, Median: 2, Q3: 2, Max: 2})
+	var sb strings.Builder
+	p.Render(&sb) // must not divide by zero or panic
+	if !strings.Contains(sb.String(), "flat") {
+		t.Error("degenerate box not rendered")
+	}
+}
+
+func TestLineChartRender(t *testing.T) {
+	c := &LineChart{Title: "CCDF", XLabel: "ms", YLabel: "P(X>x)", Width: 40, Height: 10, XLog: true}
+	xs := []float64{10, 100, 1000}
+	c.AddSeries("att", xs, []float64{1, 0.5, 0})
+	c.AddSeries("sprint", xs, []float64{1, 0.9, 0.4})
+	var sb strings.Builder
+	c.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"CCDF", "att", "sprint", "●", "○", "└"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chart missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 12 {
+		t.Errorf("chart only %d lines", lines)
+	}
+}
+
+func TestLineChartSkipsNonPositiveXOnLogAxis(t *testing.T) {
+	c := &LineChart{Width: 20, Height: 5, XLog: true}
+	c.AddSeries("s", []float64{0, 10, 100}, []float64{1, 0.5, 0})
+	var sb strings.Builder
+	c.Render(&sb) // must not panic on log(0)
+	if !strings.Contains(sb.String(), "s") {
+		t.Error("series legend missing")
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	var sb strings.Builder
+	(&LineChart{}).Render(&sb)
+	if sb.Len() != 0 {
+		t.Error("empty chart produced output")
+	}
+}
