@@ -14,6 +14,7 @@ package mptcplab_test
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -30,7 +31,10 @@ import (
 
 const benchReps = 3
 
-var benchOpts = experiment.CampaignOpts{Reps: benchReps, Seed: 1, SampleProfiles: true}
+// Workers: 0 fans each campaign out to all CPUs; the runner guarantees
+// aggregates are byte-identical to a serial run, so reported metrics
+// are unaffected.
+var benchOpts = experiment.CampaignOpts{Reps: benchReps, Seed: 1, SampleProfiles: true, Workers: 0}
 
 // Campaigns are deterministic; share them across the benchmarks that
 // read different projections of the same matrix (e.g. Fig 2/3 and
@@ -478,6 +482,28 @@ func BenchmarkAblationColdRadio(b *testing.B) {
 			}
 			b.ReportMetric(times.Median(), "s_median/radio_"+name)
 		}
+	}
+}
+
+// --- Campaign runner worker scaling ---
+
+// BenchmarkCampaignWorkerScaling measures the wall-clock effect of the
+// parallel campaign runner on a fixed campaign: the serial path versus
+// the all-CPU pool. The resulting matrices are byte-identical (see
+// TestMatrixParallelDeterminism); only elapsed time differs.
+func BenchmarkCampaignWorkerScaling(b *testing.B) {
+	counts := []int{1, runtime.GOMAXPROCS(0)}
+	if counts[1] == 1 {
+		counts[1] = 2 // still exercise the pool path on single-CPU hosts
+	}
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers_%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := experiment.CampaignOpts{Reps: 2, Seed: 1, SampleProfiles: true, Workers: workers}
+				m := experiment.SimultaneousSYN(opts)
+				b.ReportMetric(m.BusyTime.Seconds()/m.WallTime.Seconds(), "speedup")
+			}
+		})
 	}
 }
 

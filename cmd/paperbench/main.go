@@ -19,17 +19,18 @@ import (
 
 func main() {
 	var (
-		which  = flag.String("experiment", "all", "comma-separated: fig2,fig4,fig6,fig8,fig9,fig11,fig12,all (aliases: fig3/table2->fig2, fig5/table3->fig4, fig7/table4->fig6, fig10/table5->fig9, fig13/table6->fig12)")
-		reps   = flag.Int("reps", 5, "repetitions per configuration cell")
-		seed   = flag.Int64("seed", 1, "campaign seed")
-		quick  = flag.Bool("quick", false, "scale the infinite-backlog size down for fast runs")
-		format = flag.String("format", "text", "output format: text | csv | json")
-		outp   = flag.String("o", "", "write output to file instead of stdout")
-		prog   = flag.Bool("progress", false, "print run progress to stderr")
+		which   = flag.String("experiment", "all", "comma-separated: fig2,fig4,fig6,fig8,fig9,fig11,fig12,all (aliases: fig3/table2->fig2, fig5/table3->fig4, fig7/table4->fig6, fig10/table5->fig9, fig13/table6->fig12)")
+		reps    = flag.Int("reps", 5, "repetitions per configuration cell")
+		seed    = flag.Int64("seed", 1, "campaign seed")
+		workers = flag.Int("workers", 0, "parallel campaign workers (0 = all CPUs, 1 = serial); results are identical for any value")
+		quick   = flag.Bool("quick", false, "scale the infinite-backlog size down for fast runs")
+		format  = flag.String("format", "text", "output format: text | csv | json")
+		outp    = flag.String("o", "", "write output to file instead of stdout")
+		prog    = flag.Bool("progress", false, "print run progress to stderr")
 	)
 	flag.Parse()
 
-	opts := experiment.CampaignOpts{Reps: *reps, Seed: *seed, SampleProfiles: true}
+	opts := experiment.CampaignOpts{Reps: *reps, Seed: *seed, SampleProfiles: true, Workers: *workers}
 	if *prog {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
@@ -118,6 +119,23 @@ func main() {
 		os.Exit(2)
 	}
 
+	// speedline summarizes a campaign's wall-clock performance:
+	// aggregate busy time over wall time approximates the speedup the
+	// worker pool delivered. In text mode it lands in the report;
+	// otherwise on stderr so csv/json stay machine-readable.
+	speedline := func(m *experiment.Matrix) {
+		dst := io.Writer(os.Stderr)
+		if *format == "text" {
+			dst = w
+		}
+		speedup := 1.0
+		if m.WallTime > 0 {
+			speedup = m.BusyTime.Seconds() / m.WallTime.Seconds()
+		}
+		fmt.Fprintf(dst, "%s: wall %.2fs, aggregate run time %.2fs, %d workers (%.2fx speedup)\n",
+			m.ID, m.WallTime.Seconds(), m.BusyTime.Seconds(), m.Workers, speedup)
+	}
+
 	var matrices []*experiment.Matrix
 	var distribs []experiment.DistributionExport
 	for _, c := range campaigns {
@@ -126,6 +144,7 @@ func main() {
 		if *format == "text" {
 			c.text(w, m)
 		}
+		speedline(m)
 		if c.distrib {
 			distribs = append(distribs, m.ExportDistributions()...)
 		}

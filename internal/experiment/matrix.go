@@ -1,6 +1,11 @@
 package experiment
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
 	"mptcplab/internal/pathmodel"
 	"mptcplab/internal/sim"
 	"mptcplab/internal/stats"
@@ -68,6 +73,15 @@ type Matrix struct {
 	Title string
 	Sizes []units.ByteCount
 	Rows  []MatrixRow
+
+	// Campaign execution metadata, filled by runMatrix and excluded
+	// from the CSV/JSON exports (which must stay a pure function of
+	// the seed): host wall-clock duration of the campaign, the summed
+	// busy time of all runs, and the worker count used. BusyTime /
+	// WallTime approximates the parallel speedup.
+	WallTime time.Duration
+	BusyTime time.Duration
+	Workers  int
 }
 
 // MatrixRow is one configuration's cells across the sizes.
@@ -109,6 +123,13 @@ type CampaignOpts struct {
 	// Seed drives all randomness; equal seeds reproduce campaigns
 	// exactly.
 	Seed int64
+	// Workers is the number of goroutines executing runs concurrently:
+	// 0 (the default) uses runtime.GOMAXPROCS(0), 1 forces the legacy
+	// serial path. Aggregates are byte-identical for every worker
+	// count: each run owns a private Testbed seeded purely from
+	// (Seed, row, col, rep), and results are folded into cells in the
+	// same deterministic order the serial runner uses.
+	Workers int
 	// SampleProfiles applies per-run network variation (§3.2's
 	// temporal and spatial randomization). On by default in scenarios.
 	SampleProfiles bool
@@ -117,7 +138,15 @@ type CampaignOpts struct {
 	// the published EXPERIMENTS.md campaign uses Spread-only
 	// variation; enable for the time-of-day study.
 	Periods bool
-	// Progress, if set, is invoked after each completed run.
+	// Progress, if set, is invoked after each completed run with the
+	// count of runs finished so far and the campaign total.
+	//
+	// Concurrency contract: invocations are serialized behind an
+	// internal mutex — the callback is never entered concurrently and
+	// may mutate shared state without extra locking. Under a parallel
+	// runner the completion order of individual runs is
+	// nondeterministic; only done increasing by exactly one per call,
+	// from 1 to total, is guaranteed.
 	Progress func(done, total int)
 }
 
@@ -128,22 +157,63 @@ func (o CampaignOpts) reps() int {
 	return o.Reps
 }
 
+func (o CampaignOpts) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// splitmix64 is the 64-bit finalizer of the SplitMix generator
+// (Steele, Lea & Flood 2014): a bijection on uint64 with full
+// avalanche, so distinct inputs always produce distinct outputs.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// jobSeed derives the testbed seed for one (row, col, rep) run of a
+// campaign. The indices are packed into disjoint 21-bit fields and
+// passed through the splitmix64 bijection, so every job of every grid
+// up to 2^21 rows x columns x repetitions gets a distinct seed. (The
+// previous additive mix, Seed + row*1_000_003 + col*7919 + rep*104729,
+// collided whenever two index combinations hit the same linear sum —
+// e.g. 7919 reps ≡ one column step.)
+func jobSeed(campaign int64, row, col, rep int) int64 {
+	packed := uint64(row)<<42 | uint64(col)<<21 | uint64(rep)
+	return int64(splitmix64(splitmix64(uint64(campaign)) ^ packed))
+}
+
+// matrixJob identifies one run: indices into the row, size, and
+// repetition axes. Its position in the shuffled job list is the job id
+// results are collected under.
+type matrixJob struct {
+	row, col, rep int
+}
+
 // runMatrix executes the full grid. Mirroring §3.2, the order of all
 // (row, size, repetition) runs is randomized before execution; each
 // run gets an independent testbed seeded deterministically from the
-// campaign seed.
+// campaign seed via jobSeed.
+//
+// With opts.Workers != 1 the shuffled job list is fanned out to a
+// goroutine pool. Workers never touch cells: each run's RunResult is
+// collected into a slice indexed by job id, and after the pool drains
+// the results are absorbed into cells in shuffled-list order — the
+// exact order the serial runner absorbs in — so every aggregate
+// (sample means, CCDFs, pooled RTT/OFO samples) is byte-identical to
+// the serial runner's for any worker count.
 func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts CampaignOpts) *Matrix {
-	m := &Matrix{ID: id, Title: title, Sizes: sizes}
-	type job struct {
-		row, col, rep int
-	}
-	var jobs []job
+	m := &Matrix{ID: id, Title: title, Sizes: sizes, Workers: opts.workers()}
+	var jobs []matrixJob
 	for ri := range rows {
 		cells := make([]*Cell, len(sizes))
 		for ci, size := range sizes {
 			cells[ci] = newCell(rows[ri].Make(size))
 			for rep := 0; rep < opts.reps(); rep++ {
-				jobs = append(jobs, job{ri, ci, rep})
+				jobs = append(jobs, matrixJob{ri, ci, rep})
 			}
 		}
 		m.Rows = append(m.Rows, MatrixRow{Label: rows[ri].Label, Cells: cells})
@@ -152,10 +222,16 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 	order := sim.NewRNG(opts.Seed ^ 0x5eed)
 	order.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
 
-	for k, j := range jobs {
+	start := time.Now()
+	var busy atomic.Int64
+
+	// runJob executes one job on a private testbed. It only reads the
+	// (frozen) rows, cells, and jobs slices, so any number of runJob
+	// calls may proceed concurrently.
+	runJob := func(j matrixJob) RunResult {
+		t0 := time.Now()
 		row := rows[j.row]
 		cell := m.Rows[j.row].Cells[j.col]
-		seed := opts.Seed + int64(j.row)*1_000_003 + int64(j.col)*7919 + int64(j.rep)*104729
 		tb := NewTestbed(TestbedConfig{
 			WiFi:              row.WiFi,
 			Cell:              row.Cell,
@@ -164,12 +240,56 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 			UsePeriod:         opts.Periods,
 			Period:            pathmodel.AllPeriods[j.rep%len(pathmodel.AllPeriods)],
 			WarmRadio:         true,
-			Seed:              seed,
+			Seed:              jobSeed(opts.Seed, j.row, j.col, j.rep),
 		})
-		cell.absorb(tb.Run(cell.Config))
-		if opts.Progress != nil {
-			opts.Progress(k+1, len(jobs))
+		res := tb.Run(cell.Config)
+		busy.Add(int64(time.Since(t0)))
+		return res
+	}
+
+	if m.Workers <= 1 {
+		// Legacy serial path: absorb each result as it lands.
+		for k, j := range jobs {
+			m.Rows[j.row].Cells[j.col].absorb(runJob(j))
+			if opts.Progress != nil {
+				opts.Progress(k+1, len(jobs))
+			}
+		}
+	} else {
+		results := make([]RunResult, len(jobs))
+		var next atomic.Int64
+		next.Store(-1)
+		var (
+			wg         sync.WaitGroup
+			progressMu sync.Mutex
+			done       int
+		)
+		for w := 0; w < m.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1))
+					if k >= len(jobs) {
+						return
+					}
+					results[k] = runJob(jobs[k])
+					if opts.Progress != nil {
+						progressMu.Lock()
+						done++
+						opts.Progress(done, len(jobs))
+						progressMu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for k, j := range jobs {
+			m.Rows[j.row].Cells[j.col].absorb(results[k])
 		}
 	}
+
+	m.BusyTime = time.Duration(busy.Load())
+	m.WallTime = time.Since(start)
 	return m
 }

@@ -159,6 +159,12 @@ func defaultStr(s, d string) string {
 // Run performs one download on the testbed and collects its metrics.
 // The testbed must be fresh: connections are never reused across
 // measurements (as in the paper).
+//
+// A Testbed and everything it owns (simulator, network, endpoints,
+// RNG streams) is confined to a single goroutine and Run must not be
+// called concurrently on one testbed — but runs on *distinct*
+// testbeds share no mutable state and may proceed in parallel, which
+// is the invariant the campaign worker pool in runMatrix builds on.
 func (tb *Testbed) Run(rc RunConfig) RunResult {
 	timeout := rc.Timeout
 	if timeout == 0 {

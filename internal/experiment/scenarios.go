@@ -1,3 +1,9 @@
+// Campaign constructors for every figure and table of the paper. Each
+// takes CampaignOpts and honors all its knobs — in particular
+// opts.Workers: every campaign fans its runs out over the parallel
+// runner (default: all CPUs) with byte-identical results to a serial
+// run, so callers may parallelize freely.
+
 package experiment
 
 import (
