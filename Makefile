@@ -1,0 +1,28 @@
+GO ?= go
+SHA := $(shell git rev-parse --short HEAD)
+
+# Benchmarks archived per commit and gated on allocs/op by benchjson.
+GATED_BENCHES := BenchmarkSimEventLoop|BenchmarkSegEncodeDecode|BenchmarkSingleDownload4MB|BenchmarkTCPSingle4MB
+
+.PHONY: all build test race vet bench
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the gated hot-path benchmarks with -benchmem, archives
+# the numbers as BENCH_<sha>.json, and fails if any allocation gate
+# regresses (see cmd/benchjson for the ceilings).
+bench:
+	$(GO) test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem . \
+		| $(GO) run ./cmd/benchjson -o BENCH_$(SHA).json

@@ -659,3 +659,78 @@ func BenchmarkTimeOfDayVariation(b *testing.B) {
 		}
 	}
 }
+
+// --- Allocation gates for the pooled hot path ---
+//
+// These are Tests, not Benchmarks, so every CI test run enforces them:
+// a change that reintroduces per-event or per-packet allocation fails
+// here rather than silently regressing the numbers in EXPERIMENTS.md.
+
+// TestSimEventLoopAllocFree pins the schedule+dispatch cycle at zero
+// allocations: events come from the simulator's free list and handles
+// are plain values.
+func TestSimEventLoopAllocFree(t *testing.T) {
+	s := sim.New()
+	fn := func() {}
+	if a := testing.AllocsPerRun(10000, func() {
+		s.After(sim.Microsecond, "e", fn)
+		s.Step()
+	}); a != 0 {
+		t.Errorf("sim schedule+step allocates %v objects per event, want 0", a)
+	}
+}
+
+// TestSegAppendEncodeAllocFree pins wire encoding into a reused
+// scratch buffer (the pcap tap's steady state) at zero allocations.
+func TestSegAppendEncodeAllocFree(t *testing.T) {
+	s := &seg.Segment{
+		Src: seg.MakeAddr("10.0.0.2", 40000), Dst: seg.MakeAddr("192.168.1.1", 8080),
+		Seq: 12345, Ack: 67890, Flags: seg.ACK, Window: 31000, PayloadLen: 1460,
+	}
+	s.AddDSS(seg.DSSOption{HasMap: true, HasAck: true, DataSeq: 1 << 33, Length: 1460})
+	scratch := seg.AppendEncode(nil, s) // size the buffer once
+	if a := testing.AllocsPerRun(1000, func() {
+		scratch = seg.AppendEncode(scratch[:0], s)
+	}); a != 0 {
+		t.Errorf("AppendEncode into sized scratch allocates %v objects per frame, want 0", a)
+	}
+}
+
+// TestSegEncodeDecodeAllocBudget bounds the full encode+decode round
+// trip (used off the hot path, by trace analysis) so it cannot creep
+// back toward the pre-pooling 8 allocs per frame.
+func TestSegEncodeDecodeAllocBudget(t *testing.T) {
+	s := &seg.Segment{
+		Src: seg.MakeAddr("10.0.0.2", 40000), Dst: seg.MakeAddr("192.168.1.1", 8080),
+		Seq: 12345, Ack: 67890, Flags: seg.ACK, Window: 31000, PayloadLen: 1460,
+		Options: []seg.Option{seg.DSSOption{HasMap: true, HasAck: true, DataSeq: 1 << 33, Length: 1460}},
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		wire := seg.Encode(s)
+		if _, err := seg.Decode(wire); err != nil {
+			t.Fatal(err)
+		}
+	}); a > 4 {
+		t.Errorf("Encode+Decode allocates %v objects per frame, want <= 4", a)
+	}
+}
+
+// TestReorderBufferAllocFree pins the out-of-order insert/heal cycle
+// at zero steady-state allocations (reused scratch + in-place splice).
+func TestReorderBufferAllocFree(t *testing.T) {
+	rb := mptcp.NewReorderBuffer(0)
+	var at uint64
+	// Warm up: let blocks/scratch grow to working size.
+	for i := 0; i < 64; i++ {
+		rb.Insert(sim.Time(i), at+1460, at+2920, 1)
+		rb.Insert(sim.Time(i), at, at+1460, 0)
+		at += 2920
+	}
+	if a := testing.AllocsPerRun(1000, func() {
+		rb.Insert(0, at+1460, at+2920, 1)
+		rb.Insert(0, at, at+1460, 0)
+		at += 2920
+	}); a != 0 {
+		t.Errorf("reorder insert+heal allocates %v objects per packet pair, want 0", a)
+	}
+}

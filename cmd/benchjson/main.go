@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench -benchmem` output into a
+// JSON record suitable for archiving one BENCH_<sha>.json per commit,
+// and enforces the repository's allocation gates: if a gated benchmark
+// reports more allocs/op than its ceiling, benchjson exits nonzero and
+// the bench CI job fails.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_abc123.json
+//
+// Input lines are echoed to stderr so the benchmark output stays
+// visible in CI logs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// allocGates pins allocs/op ceilings for the pooled hot path. The
+// SingleDownload ceiling is 70% of the pre-pooling baseline (168910
+// allocs/op), the PR's acceptance bar; the optimized path measures
+// ~1.8k, so any regression back toward per-packet allocation trips it
+// long before the baseline returns.
+var allocGates = map[string]float64{
+	"BenchmarkSimEventLoop":      0,
+	"BenchmarkSegEncodeDecode":   4,
+	"BenchmarkSingleDownload4MB": 118237,
+	"BenchmarkTCPSingle4MB":      55472, // 70% of the 79247 baseline
+}
+
+// Result is one benchmark line.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra holds custom b.ReportMetric units.
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+func main() {
+	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
+	noGates := flag.Bool("nogates", false, "parse and report only; skip the alloc-gate check")
+	flag.Parse()
+
+	var results []Result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if r, ok := parseLine(line); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+
+	if *noGates {
+		return
+	}
+	failed := false
+	for _, r := range results {
+		limit, gated := allocGates[baseName(r.Name)]
+		if !gated {
+			continue
+		}
+		if r.AllocsPerOp > limit {
+			fmt.Fprintf(os.Stderr, "benchjson: GATE FAILED: %s reports %.0f allocs/op, ceiling %.0f\n",
+				r.Name, r.AllocsPerOp, limit)
+			failed = true
+		} else {
+			fmt.Fprintf(os.Stderr, "benchjson: gate ok: %s %.0f allocs/op (ceiling %.0f)\n",
+				r.Name, r.AllocsPerOp, limit)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// baseName strips the -<GOMAXPROCS> suffix go test appends.
+func baseName(name string) string {
+	if i := strings.LastIndexByte(name, '-'); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// parseLine extracts one "BenchmarkX  N  v1 unit1  v2 unit2 ..." line.
+func parseLine(line string) (Result, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: f[0], Iterations: iters}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			continue
+		}
+		switch f[i+1] {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[f[i+1]] = v
+		}
+	}
+	return r, true
+}

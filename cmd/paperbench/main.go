@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 
 	"mptcplab/internal/experiment"
@@ -27,8 +30,54 @@ func main() {
 		format  = flag.String("format", "text", "output format: text | csv | json")
 		outp    = flag.String("o", "", "write output to file instead of stdout")
 		prog    = flag.Bool("progress", false, "print run progress to stderr")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (inspect with go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file at exit")
+		tracefile  = flag.String("trace", "", "write a runtime execution trace to this file (inspect with go tool trace)")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracefile != "" {
+		f, err := os.Create(*tracefile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "paperbench:", err)
+			os.Exit(1)
+		}
+		defer rtrace.Stop()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retained objects accurately
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "paperbench:", err)
+			}
+		}()
+	}
 
 	opts := experiment.CampaignOpts{Reps: *reps, Seed: *seed, SampleProfiles: true, Workers: *workers}
 	if *prog {
@@ -119,11 +168,14 @@ func main() {
 		os.Exit(2)
 	}
 
-	// speedline summarizes a campaign's wall-clock performance:
+	// speedline summarizes a campaign's host-side performance:
 	// aggregate busy time over wall time approximates the speedup the
-	// worker pool delivered. In text mode it lands in the report;
-	// otherwise on stderr so csv/json stay machine-readable.
-	speedline := func(m *experiment.Matrix) {
+	// worker pool delivered, events/sec is the simulator's throughput,
+	// and allocs/run is the heap-allocation cost of one download (the
+	// pooled hot path keeps it O(window), not O(packets)). In text mode
+	// it lands in the report; otherwise on stderr so csv/json stay
+	// machine-readable.
+	speedline := func(m *experiment.Matrix, allocs uint64) {
 		dst := io.Writer(os.Stderr)
 		if *format == "text" {
 			dst = w
@@ -132,19 +184,33 @@ func main() {
 		if m.WallTime > 0 {
 			speedup = m.BusyTime.Seconds() / m.WallTime.Seconds()
 		}
-		fmt.Fprintf(dst, "%s: wall %.2fs, aggregate run time %.2fs, %d workers (%.2fx speedup)\n",
-			m.ID, m.WallTime.Seconds(), m.BusyTime.Seconds(), m.Workers, speedup)
+		runs := 0
+		for _, e := range m.Export() {
+			runs += e.N + e.Failures
+		}
+		var evRate, allocsPerRun float64
+		if m.WallTime > 0 {
+			evRate = float64(m.TotalEvents) / m.WallTime.Seconds()
+		}
+		if runs > 0 {
+			allocsPerRun = float64(allocs) / float64(runs)
+		}
+		fmt.Fprintf(dst, "%s: wall %.2fs, aggregate run time %.2fs, %d workers (%.2fx speedup), %.2fM events/sec, %.0f allocs/run\n",
+			m.ID, m.WallTime.Seconds(), m.BusyTime.Seconds(), m.Workers, speedup, evRate/1e6, allocsPerRun)
 	}
 
 	var matrices []*experiment.Matrix
 	var distribs []experiment.DistributionExport
 	for _, c := range campaigns {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		m := c.run()
+		runtime.ReadMemStats(&after)
 		matrices = append(matrices, m)
 		if *format == "text" {
 			c.text(w, m)
 		}
-		speedline(m)
+		speedline(m, after.Mallocs-before.Mallocs)
 		if c.distrib {
 			distribs = append(distribs, m.ExportDistributions()...)
 		}

@@ -67,16 +67,10 @@ func New(name string) (Controller, error) {
 // discusses them.
 func Names() []string { return []string{"reno", "coupled", "olia"} }
 
-// established filters to flows participating in transmission.
-func established(flows []Flow) []Flow {
-	out := make([]Flow, 0, len(flows))
-	for _, f := range flows {
-		if f.Established() && f.Cwnd() > 0 {
-			out = append(out, f)
-		}
-	}
-	return out
-}
+// activeFlow reports whether a flow participates in transmission.
+// Controllers filter with this inline rather than building a filtered
+// slice: Increase runs on every ACK, so it must not allocate.
+func activeFlow(f Flow) bool { return f.Established() && f.Cwnd() > 0 }
 
 // halve is the common multiplicative decrease: all three paper
 // controllers use unmodified TCP behaviour on loss, w_i <- w_i/2,
@@ -125,16 +119,17 @@ func (Coupled) Name() string { return "coupled" }
 
 // Increase implements Controller.
 func (Coupled) Increase(flows []Flow, i int, acked float64) float64 {
-	act := established(flows)
 	w := flows[i].Cwnd()
 	if w <= 0 {
 		return 0
 	}
-	if len(act) <= 1 {
-		return acked / w
-	}
+	nAct := 0
 	var totalW, denom, best float64
-	for _, f := range act {
+	for _, f := range flows {
+		if !activeFlow(f) {
+			continue
+		}
+		nAct++
 		wp, rtt := f.Cwnd(), f.SRTT()
 		if rtt <= 0 {
 			continue
@@ -145,7 +140,7 @@ func (Coupled) Increase(flows []Flow, i int, acked float64) float64 {
 			best = v
 		}
 	}
-	if totalW <= 0 || denom <= 0 {
+	if nAct <= 1 || totalW <= 0 || denom <= 0 {
 		return acked / w
 	}
 	alpha := totalW * best / (denom * denom)

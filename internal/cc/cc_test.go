@@ -154,8 +154,8 @@ func TestOLIAAlphaShiftsTowardBestUnderusedPath(t *testing.T) {
 	b := &fakeFlow{cwnd: 50, srtt: 0.03, established: true, l1: 1 << 10}
 	fs := flows(a, b)
 
-	alphaA := oliaAlpha([]Flow{a, b}, a)
-	alphaB := oliaAlpha([]Flow{a, b}, b)
+	alphaA := oliaAlpha([]Flow{a, b}, 2, a)
+	alphaB := oliaAlpha([]Flow{a, b}, 2, b)
 	if alphaA <= 0 {
 		t.Errorf("alpha(best, small-w) = %g, want > 0", alphaA)
 	}
@@ -179,10 +179,10 @@ func TestOLIAAlphaZeroWhenBestHasMaxWindow(t *testing.T) {
 	// "collected" set is empty).
 	a := &fakeFlow{cwnd: 50, srtt: 0.03, established: true, l1: 10 << 20}
 	b := &fakeFlow{cwnd: 5, srtt: 0.03, established: true, l1: 1 << 10}
-	if alpha := oliaAlpha([]Flow{a, b}, a); alpha != 0 {
+	if alpha := oliaAlpha([]Flow{a, b}, 2, a); alpha != 0 {
 		t.Errorf("alpha = %g, want 0", alpha)
 	}
-	if alpha := oliaAlpha([]Flow{a, b}, b); alpha != 0 {
+	if alpha := oliaAlpha([]Flow{a, b}, 2, b); alpha != 0 {
 		t.Errorf("alpha = %g, want 0", alpha)
 	}
 }
@@ -195,7 +195,7 @@ func TestOLIAAlphaConservationProperty(t *testing.T) {
 		b := &fakeFlow{cwnd: 1 + float64(w2%300), srtt: 0.05, established: true, l1: int64(l1b)}
 		c := &fakeFlow{cwnd: 1 + float64(w3%300), srtt: 0.15, established: true, l1: int64(l1c)}
 		fs := []Flow{a, b, c}
-		sum := oliaAlpha(fs, a) + oliaAlpha(fs, b) + oliaAlpha(fs, c)
+		sum := oliaAlpha(fs, 3, a) + oliaAlpha(fs, 3, b) + oliaAlpha(fs, 3, c)
 		return math.Abs(sum) < 1e-9
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {

@@ -27,28 +27,28 @@ func (OLIA) Name() string { return "olia" }
 
 // Increase implements Controller.
 func (OLIA) Increase(flows []Flow, i int, acked float64) float64 {
-	act := established(flows)
 	self := flows[i]
 	w := self.Cwnd()
 	if w <= 0 {
 		return 0
 	}
-	if len(act) <= 1 {
-		return acked / w
-	}
-
+	nAct := 0
 	var denom float64
-	for _, f := range act {
+	for _, f := range flows {
+		if !activeFlow(f) {
+			continue
+		}
+		nAct++
 		if rtt := f.SRTT(); rtt > 0 {
 			denom += f.Cwnd() / rtt
 		}
 	}
-	if denom <= 0 {
+	if nAct <= 1 || denom <= 0 {
 		return acked / w
 	}
 	rtt := self.SRTT()
 	base := (w / (rtt * rtt)) / (denom * denom)
-	alpha := oliaAlpha(act, self)
+	alpha := oliaAlpha(flows, nAct, self)
 	inc := base + alpha/w
 	// OLIA's alpha can make the per-ACK increase negative on max-w
 	// paths; the window still never shrinks below halving behaviour —
@@ -62,9 +62,10 @@ func (OLIA) Increase(flows []Flow, i int, acked float64) float64 {
 // OnLoss implements Controller.
 func (OLIA) OnLoss(flows []Flow, i int) float64 { return halve(flows[i].Cwnd()) }
 
-// oliaAlpha computes alpha for flow self among the established flows.
-func oliaAlpha(act []Flow, self Flow) float64 {
-	n := float64(len(act))
+// oliaAlpha computes alpha for flow self among the nAct active flows
+// in flows (inactive ones are skipped in place, never materialized).
+func oliaAlpha(flows []Flow, nAct int, self Flow) float64 {
+	n := float64(nAct)
 
 	// Best paths maximize l_p^2 / rtt_p.
 	quality := func(f Flow) float64 {
@@ -79,7 +80,10 @@ func oliaAlpha(act []Flow, self Flow) float64 {
 		return l * l / rtt
 	}
 	var bestQ, maxW float64
-	for _, f := range act {
+	for _, f := range flows {
+		if !activeFlow(f) {
+			continue
+		}
 		if q := quality(f); q > bestQ {
 			bestQ = q
 		}
@@ -93,7 +97,10 @@ func oliaAlpha(act []Flow, self Flow) float64 {
 
 	// collected = best paths that do not have the maximum window.
 	var collected, maxSet int
-	for _, f := range act {
+	for _, f := range flows {
+		if !activeFlow(f) {
+			continue
+		}
 		if inBest(f) && !inMaxW(f) {
 			collected++
 		}

@@ -1,0 +1,47 @@
+package experiment
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenSmallFlowsExports pins the campaign exports to fixtures
+// generated before the pooled hot path landed: the optimization must
+// not change a single exported byte, for any worker count. This is the
+// determinism contract of the whole PR — pooling recycles memory, not
+// results.
+func TestGoldenSmallFlowsExports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full SmallFlows campaigns")
+	}
+	wantCSV, err := os.ReadFile(filepath.Join("testdata", "golden_smallflows_seed42_reps2.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantJSON, err := os.ReadFile(filepath.Join("testdata", "golden_smallflows_seed42_reps2.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		m := SmallFlows(CampaignOpts{Reps: 2, Seed: 42, SampleProfiles: true, Workers: workers})
+
+		var csvBuf bytes.Buffer
+		if err := WriteCSV(&csvBuf, m); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(csvBuf.Bytes(), wantCSV) {
+			t.Errorf("workers=%d: CSV export differs from pre-pooling golden fixture", workers)
+		}
+
+		var jsonBuf bytes.Buffer
+		if err := WriteJSON(&jsonBuf, m); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(jsonBuf.Bytes(), wantJSON) {
+			t.Errorf("workers=%d: JSON export differs from pre-pooling golden fixture", workers)
+		}
+	}
+}

@@ -82,6 +82,11 @@ type Matrix struct {
 	WallTime time.Duration
 	BusyTime time.Duration
 	Workers  int
+
+	// TotalEvents sums the simulator events processed across all runs,
+	// the numerator of paperbench's events/sec line. Like the timing
+	// fields it is execution metadata, excluded from exports.
+	TotalEvents uint64
 }
 
 // MatrixRow is one configuration's cells across the sizes.
@@ -250,7 +255,9 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 	if m.Workers <= 1 {
 		// Legacy serial path: absorb each result as it lands.
 		for k, j := range jobs {
-			m.Rows[j.row].Cells[j.col].absorb(runJob(j))
+			res := runJob(j)
+			m.TotalEvents += res.Events
+			m.Rows[j.row].Cells[j.col].absorb(res)
 			if opts.Progress != nil {
 				opts.Progress(k+1, len(jobs))
 			}
@@ -285,6 +292,7 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 		}
 		wg.Wait()
 		for k, j := range jobs {
+			m.TotalEvents += results[k].Events
 			m.Rows[j.row].Cells[j.col].absorb(results[k])
 		}
 	}

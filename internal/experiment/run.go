@@ -91,6 +91,12 @@ type RunResult struct {
 	Subflows int
 	// Penalties counts receive-buffer penalization events (ablation).
 	Penalties uint64
+
+	// Events is the number of simulator events the run processed — the
+	// denominator of paperbench's events/sec throughput line. It is not
+	// exported in campaign CSV/JSON (it is a property of the simulator,
+	// not of the modeled network).
+	Events uint64
 }
 
 // CellShare reports the fraction of data bytes the server sent over
@@ -220,6 +226,7 @@ func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time) RunResult {
 	clientEP.Connect()
 
 	tb.Sim.RunUntil(start + timeout)
+	res.Events = tb.Sim.Processed()
 	if done < 0 {
 		return res
 	}
@@ -272,6 +279,7 @@ func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time) RunResult {
 	})
 
 	tb.Sim.RunUntil(start + timeout)
+	res.Events = tb.Sim.Processed()
 	if done < 0 {
 		return res
 	}

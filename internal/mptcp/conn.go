@@ -567,7 +567,7 @@ func (c *Conn) buildOptions(sf *Subflow, s *seg.Segment, kind tcp.SegKind) {
 				dss.DataFin = true
 			}
 		}
-		s.AddOption(dss)
+		s.AddDSS(dss)
 	case tcp.KindAck, tcp.KindFin:
 		dss := seg.DSSOption{HasAck: true, DataAck: c.reorder.RcvNxt()}
 		if c.dataFinQueued && c.sndNxtData == c.sndEndData {
@@ -578,7 +578,7 @@ func (c *Conn) buildOptions(sf *Subflow, s *seg.Segment, kind tcp.SegKind) {
 			dss.Length = 0
 			dss.DataFin = true
 		}
-		s.AddOption(dss)
+		s.AddDSS(dss)
 	}
 	if len(sf.pendingOpts) > 0 {
 		s.Options = append(s.Options, sf.pendingOpts...)
@@ -626,8 +626,7 @@ func (c *Conn) onSegment(sf *Subflow, s *seg.Segment) {
 		c.onFastClose()
 		return
 	}
-	if o := s.MPTCP(seg.SubDSS); o != nil {
-		d := o.(seg.DSSOption)
+	if d, ok := s.GetDSS(); ok {
 		if d.HasAck {
 			c.onDataAck(d.DataAck)
 		}

@@ -9,8 +9,6 @@
 package mptcp
 
 import (
-	"sort"
-
 	"mptcplab/internal/sim"
 )
 
@@ -27,8 +25,9 @@ type ofoBlock struct {
 // wait here — the paper's out-of-order delay (§3.3) is exactly the
 // residence time this buffer measures.
 type ReorderBuffer struct {
-	rcvNxt uint64
-	blocks []ofoBlock // sorted by start, non-overlapping
+	rcvNxt  uint64
+	blocks  []ofoBlock // sorted by start, non-overlapping
+	scratch []ofoBlock // reused by insertBlock for gap carving
 
 	// OnDeliver receives newly in-order byte counts.
 	OnDeliver func(n int64)
@@ -108,31 +107,44 @@ func (b *ReorderBuffer) Insert(now sim.Time, start, end uint64, subflow int) {
 
 // insertBlock adds a range, discarding overlap with stored blocks.
 func (b *ReorderBuffer) insertBlock(nb ofoBlock) {
-	// Carve nb against existing blocks; keep simple O(n) given
-	// buffers hold at most a few hundred blocks.
-	pieces := []ofoBlock{nb}
+	// blocks is sorted and non-overlapping, so one pass over it carves
+	// nb into the uncovered gaps. The pieces land in a reusable scratch
+	// slice, so the per-packet OOO path allocates nothing once the two
+	// slices have grown to the connection's working size.
+	pieces := b.scratch[:0]
+	cur := nb.start
 	for _, ex := range b.blocks {
-		var next []ofoBlock
-		for _, p := range pieces {
-			// Subtract ex from p.
-			if ex.end <= p.start || p.end <= ex.start {
-				next = append(next, p)
-				continue
-			}
-			if p.start < ex.start {
-				next = append(next, ofoBlock{p.start, ex.start, p.arrivedAt, p.subflow})
-			}
-			if ex.end < p.end {
-				next = append(next, ofoBlock{ex.end, p.end, p.arrivedAt, p.subflow})
-			}
+		if ex.end <= cur {
+			continue
 		}
-		pieces = next
-		if len(pieces) == 0 {
-			return
+		if ex.start >= nb.end {
+			break
 		}
+		if cur < ex.start {
+			pieces = append(pieces, ofoBlock{cur, ex.start, nb.arrivedAt, nb.subflow})
+		}
+		cur = ex.end
+	}
+	if cur < nb.end {
+		pieces = append(pieces, ofoBlock{cur, nb.end, nb.arrivedAt, nb.subflow})
+	}
+	b.scratch = pieces
+	if len(pieces) == 0 {
+		return
 	}
 	for _, p := range pieces {
-		b.blocks = append(b.blocks, p)
+		// Splice into sorted position (pieces are themselves ascending,
+		// so each lands at or after the previous one).
+		i := len(b.blocks)
+		for j := range b.blocks {
+			if b.blocks[j].start > p.start {
+				i = j
+				break
+			}
+		}
+		b.blocks = append(b.blocks, ofoBlock{})
+		copy(b.blocks[i+1:], b.blocks[i:])
+		b.blocks[i] = p
 		n := int64(p.end - p.start)
 		b.Buffered += n
 		b.perSubflowOFO[p.subflow] += n
@@ -140,7 +152,6 @@ func (b *ReorderBuffer) insertBlock(nb ofoBlock) {
 	if b.Buffered > b.MaxBuffered {
 		b.MaxBuffered = b.Buffered
 	}
-	sort.Slice(b.blocks, func(i, j int) bool { return b.blocks[i].start < b.blocks[j].start })
 }
 
 // drain advances rcvNxt across contiguous buffered blocks, emitting
@@ -163,5 +174,10 @@ func (b *ReorderBuffer) drain(now sim.Time, delivered *int64) {
 			b.OnSample(now-blk.arrivedAt, blk.subflow)
 		}
 	}
-	b.blocks = b.blocks[i:]
+	if i > 0 {
+		// Shift survivors down in place so the slice keeps its capacity
+		// for later bursts instead of re-growing from a moved base.
+		n := copy(b.blocks, b.blocks[i:])
+		b.blocks = b.blocks[:n]
+	}
 }

@@ -74,18 +74,58 @@ type Link struct {
 	queuedBytes units.ByteCount
 	lastArrival sim.Time
 	txSeq       uint64
+
+	// pool receives segments the link kills (queue drop, medium loss,
+	// outage). Wired by Network.AddRoute; nil (a no-op) for standalone
+	// links driven directly by tests.
+	pool *seg.Pool
+
+	// Per-packet event state rides in FIFO rings matched to the two
+	// prebound callbacks below, so Send schedules events without
+	// allocating a closure or an event-name string per packet. See ring.
+	departName, arriveName string
+	onDepart, onArrive     func()
+	departQ                ring[units.ByteCount]
+	arriveQ                ring[arrivalRec]
+}
+
+// arrivalRec is one in-flight packet: popped by the link's arrive
+// callback when its propagation delay elapses.
+type arrivalRec struct {
+	s       *seg.Segment
+	ws      units.ByteCount
+	deliver func(*seg.Segment)
 }
 
 // NewLink wires a link to its simulator and RNG stream. Loss and
 // Jitter default to NoLoss / NoJitter when nil.
 func NewLink(s *sim.Simulator, rng *sim.RNG, name string) *Link {
-	return &Link{
-		Name:   name,
-		Loss:   NoLoss{},
-		Jitter: NoJitter{},
-		sim:    s,
-		rng:    rng.Child("link/" + name),
+	l := &Link{
+		Name:       name,
+		Loss:       NoLoss{},
+		Jitter:     NoJitter{},
+		sim:        s,
+		rng:        rng.Child("link/" + name),
+		departName: "link.depart:" + name,
+		arriveName: "link.arrive:" + name,
 	}
+	l.onDepart = func() {
+		l.queuedBytes -= l.departQ.pop()
+	}
+	l.onArrive = func() {
+		a := l.arriveQ.pop()
+		// An outage that began after this packet was sent still kills
+		// it: frames in the air die with the radio.
+		if l.down {
+			l.Stats.MediumDrop++
+			l.pool.Put(a.s)
+			return
+		}
+		l.Stats.Sent++
+		l.Stats.Bytes += int64(a.ws)
+		a.deliver(a.s)
+	}
+	return l
 }
 
 // QueuedBytes reports the current queue occupancy.
@@ -110,10 +150,14 @@ func (l *Link) SetDown(down bool) { l.down = down }
 func (l *Link) IsDown() bool { return l.down }
 
 // Send enqueues s. If it survives the queue and the medium, deliver is
-// invoked at the packet's arrival time at the far end.
+// invoked at the packet's arrival time at the far end; otherwise the
+// segment is released to the link's pool (if any). Departure and
+// arrival events are scheduled through per-link FIFO rings and shared
+// callbacks, so the steady-state send path allocates nothing.
 func (l *Link) Send(s *seg.Segment, deliver func(*seg.Segment)) {
 	if l.down {
 		l.Stats.MediumDrop++
+		l.pool.Put(s)
 		return
 	}
 	now := l.sim.Now()
@@ -121,6 +165,7 @@ func (l *Link) Send(s *seg.Segment, deliver func(*seg.Segment)) {
 
 	if l.QueueLimit > 0 && l.queuedBytes+ws > l.QueueLimit {
 		l.Stats.QueueDrop++
+		l.pool.Put(s)
 		return
 	}
 	l.queuedBytes += ws
@@ -150,24 +195,15 @@ func (l *Link) Send(s *seg.Segment, deliver func(*seg.Segment)) {
 	}
 	l.lastArrival = arrival
 
-	l.sim.At(departure, "link.depart:"+l.Name, func() {
-		l.queuedBytes -= ws
-	})
+	l.departQ.push(ws)
+	l.sim.At(departure, l.departName, l.onDepart)
 	if !survives {
 		l.Stats.MediumDrop++
+		l.pool.Put(s)
 		return
 	}
-	l.sim.At(arrival, "link.arrive:"+l.Name, func() {
-		// An outage that began after this packet was sent still kills
-		// it: frames in the air die with the radio.
-		if l.down {
-			l.Stats.MediumDrop++
-			return
-		}
-		l.Stats.Sent++
-		l.Stats.Bytes += int64(ws)
-		deliver(s)
-	})
+	l.arriveQ.push(arrivalRec{s: s, ws: ws, deliver: deliver})
+	l.sim.At(arrival, l.arriveName, l.onArrive)
 }
 
 // String describes the link.

@@ -8,12 +8,16 @@ import (
 )
 
 // Handler consumes segments addressed to an established connection.
+// The segment is only valid for the duration of the call: the network
+// releases it back to its pool when Receive returns, so handlers that
+// need it longer must Clone.
 type Handler interface {
 	Receive(s *seg.Segment)
 }
 
 // Listener consumes segments that match a listening port but no
-// established connection (i.e. incoming SYNs).
+// established connection (i.e. incoming SYNs). The same lifetime rule
+// as Handler.Receive applies.
 type Listener interface {
 	Incoming(s *seg.Segment)
 }
@@ -93,7 +97,13 @@ func (h *Host) tap(dir Direction, s *seg.Segment) {
 	}
 }
 
-// Send stamps and transmits a segment from this host.
+// NewSegment returns an empty segment from the network's pool; see
+// Network.NewSegment for the ownership rules.
+func (h *Host) NewSegment() *seg.Segment { return h.net.pool.Get() }
+
+// Send stamps and transmits a segment from this host. Ownership of s
+// passes to the network: the route chain releases it to the pool after
+// final delivery or at a drop, so callers must not use it afterwards.
 func (h *Host) Send(s *seg.Segment) {
 	s.SentAt = h.net.sim.Now()
 	h.tap(Egress, s)
@@ -122,6 +132,11 @@ type routeKey struct {
 type route struct {
 	hops []*Link
 	dst  *Host
+
+	// start is the precomputed delivery chain: hop 0's Send bound to
+	// hop 1's, ending in Deliver-then-release. Built once in AddRoute
+	// so routing a packet creates no closures.
+	start func(*seg.Segment)
 }
 
 // Network connects hosts through routes made of shared links. Routing
@@ -132,6 +147,13 @@ type Network struct {
 	sim    *sim.Simulator
 	hosts  []*Host
 	routes map[routeKey]route
+
+	// pool recycles segments across the network's packet lifecycle:
+	// endpoints Get one via Host.NewSegment, routes carry it hop to
+	// hop, and the end of the chain — final delivery or any drop —
+	// Puts it back. Taps and anything else that outlives that moment
+	// works on clones.
+	pool seg.Pool
 
 	// NoRoute counts segments dropped for lack of a route: a config
 	// error in tests, surfaced rather than panicking mid-simulation.
@@ -146,11 +168,28 @@ func NewNetwork(s *sim.Simulator) *Network {
 // Sim exposes the simulator driving this network.
 func (n *Network) Sim() *sim.Simulator { return n.sim }
 
+// NewSegment returns an empty segment from the network's pool. The
+// segment is surrendered when sent (the route chain releases it after
+// final delivery or at a drop); senders must not touch it afterwards.
+func (n *Network) NewSegment() *seg.Segment { return n.pool.Get() }
+
+// Pool exposes the network's segment pool (for stats and tests).
+func (n *Network) Pool() *seg.Pool { return &n.pool }
+
 // AddRoute installs a one-directional route: segments from srcIP to
 // dstIP traverse hops in order and are then delivered to dst. Links
 // may appear in multiple routes; they are shared bottlenecks.
 func (n *Network) AddRoute(srcIP, dstIP [4]byte, dst *Host, hops ...*Link) {
-	n.routes[routeKey{srcIP, dstIP}] = route{hops: hops, dst: dst}
+	next := func(s *seg.Segment) {
+		dst.Deliver(s)
+		n.pool.Put(s)
+	}
+	for i := len(hops) - 1; i >= 0; i-- {
+		hop, downstream := hops[i], next
+		hop.pool = &n.pool
+		next = func(s *seg.Segment) { hop.Send(s, downstream) }
+	}
+	n.routes[routeKey{srcIP, dstIP}] = route{hops: hops, dst: dst, start: next}
 }
 
 // AddDuplexRoute installs forward and reverse routes in one call:
@@ -164,19 +203,10 @@ func (n *Network) route(s *seg.Segment) {
 	r, ok := n.routes[routeKey{s.Src.IP, s.Dst.IP}]
 	if !ok {
 		n.NoRoute++
+		n.pool.Put(s)
 		return
 	}
-	n.forward(s, r, 0)
-}
-
-func (n *Network) forward(s *seg.Segment, r route, hop int) {
-	if hop == len(r.hops) {
-		r.dst.Deliver(s)
-		return
-	}
-	r.hops[hop].Send(s, func(s *seg.Segment) {
-		n.forward(s, r, hop+1)
-	})
+	r.start(s)
 }
 
 // String summarizes the network.

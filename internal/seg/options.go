@@ -239,23 +239,6 @@ func (o AddAddrOption) encode(d []byte) []byte {
 // offset allows at most a 60-byte header, i.e. 40 bytes of options.
 const maxOptionBytes = 40
 
-// packOptions selects the prefix-respecting subset of opts that fits
-// the 40-byte TCP option budget, greedily skipping options that would
-// overflow — the same space rationing real MPTCP stacks perform when
-// SACK blocks and DSS compete for header room.
-func packOptions(opts []Option) []Option {
-	n := 0
-	fit := opts[:0:0]
-	for _, o := range opts {
-		if n+o.wireLen() > maxOptionBytes {
-			continue
-		}
-		n += o.wireLen()
-		fit = append(fit, o)
-	}
-	return fit
-}
-
 // RemoveAddrOption withdraws a previously advertised (or implicit)
 // address: the peer should close subflows using it (RFC 6824 §3.4.2).
 // The address itself rides along so simulated peers — which never saw
@@ -288,11 +271,20 @@ func (o FastCloseOption) encode(d []byte) []byte {
 	return binary.BigEndian.AppendUint64(d, o.Key)
 }
 
-// encodeOptions appends the options that fit the header budget, plus
-// NOP padding to a 32-bit boundary, returning the extended slice.
+// encodeOptions appends the options that fit the 40-byte TCP header
+// budget — greedily skipping options that would overflow, the same
+// space rationing real MPTCP stacks perform when SACK blocks and DSS
+// compete for header room — plus NOP padding to a 32-bit boundary.
+// The budget scan must stay in lockstep with Segment.optionsWireLen.
 func encodeOptions(dst []byte, opts []Option) []byte {
 	start := len(dst)
-	for _, o := range packOptions(opts) {
+	n := 0
+	for _, o := range opts {
+		w := o.wireLen()
+		if n+w > maxOptionBytes {
+			continue
+		}
+		n += w
 		dst = o.encode(dst)
 	}
 	for (len(dst)-start)%4 != 0 {

@@ -95,7 +95,22 @@ type Segment struct {
 	SentAt     sim.Time // stamped when the sender hands it to the NIC
 	Retransmit bool     // true if this carries previously sent data
 	TxSeq      uint64   // per-path transmission serial, set by netem
+
+	// Inline storage for the per-packet options: AddDSS and AddSACK
+	// write here and append an interior pointer to Options, so
+	// decorating a data segment or ACK costs no allocation (boxing a
+	// pointer is allocation-free, boxing the option value is not).
+	// Clone re-points these into the copy.
+	dss     DSSOption
+	sack    SACKOption
+	sackArr [maxSACKBlocks]SACKBlock
+
+	pooled bool // currently on a Pool free list (double-release guard)
 }
+
+// maxSACKBlocks bounds a segment's inline SACK storage; RFC 2018's
+// 40-byte option budget caps a real header at four blocks anyway.
+const maxSACKBlocks = 4
 
 // Len reports the payload length in bytes.
 func (s *Segment) Len() int { return s.PayloadLen }
@@ -141,15 +156,69 @@ func (s *Segment) MPTCP(sub MPTCPSubtype) Option {
 }
 
 // AddOption appends an option and returns the segment for chaining.
+// Value options box on append; the hot-path options have allocation-
+// free variants (AddDSS, AddSACK) that use the segment's inline slots.
 func (s *Segment) AddOption(o Option) *Segment {
 	s.Options = append(s.Options, o)
 	return s
 }
 
+// AddDSS attaches a DSS option using the segment's inline slot, so the
+// per-data-segment/per-ACK path does not allocate.
+func (s *Segment) AddDSS(d DSSOption) *Segment {
+	s.dss = d
+	s.Options = append(s.Options, &s.dss)
+	return s
+}
+
+// AddSACK attaches a SACK option, copying blocks into the segment's
+// inline array (at most maxSACKBlocks are kept).
+func (s *Segment) AddSACK(blocks []SACKBlock) *Segment {
+	n := copy(s.sackArr[:], blocks)
+	s.sack = SACKOption{Blocks: s.sackArr[:n]}
+	s.Options = append(s.Options, &s.sack)
+	return s
+}
+
+// GetDSS returns the segment's DSS option, whether attached inline by
+// AddDSS or decoded from the wire as a value.
+func (s *Segment) GetDSS() (DSSOption, bool) {
+	for _, o := range s.Options {
+		switch d := o.(type) {
+		case *DSSOption:
+			return *d, true
+		case DSSOption:
+			return d, true
+		}
+	}
+	return DSSOption{}, false
+}
+
+// GetSACK returns the segment's SACK blocks, or nil. The slice may
+// point into the segment's inline storage: callers must not retain it
+// past the segment's lifetime.
+func (s *Segment) GetSACK() []SACKBlock {
+	for _, o := range s.Options {
+		switch v := o.(type) {
+		case *SACKOption:
+			return v.Blocks
+		case SACKOption:
+			return v.Blocks
+		}
+	}
+	return nil
+}
+
 func (s *Segment) optionsWireLen() int {
+	// Same greedy budget scan as encodeOptions, without building the
+	// packed subset.
 	n := 0
-	for _, o := range packOptions(s.Options) {
-		n += o.wireLen()
+	for _, o := range s.Options {
+		w := o.wireLen()
+		if n+w > maxOptionBytes {
+			continue
+		}
+		n += w
 	}
 	// Pad to 32-bit boundary with NOPs as real stacks do.
 	return (n + 3) &^ 3
@@ -172,14 +241,32 @@ func (s *Segment) String() string {
 
 // Clone returns a deep copy of the segment (options included). The
 // netem layer clones segments at fan-out points such as capture taps so
-// later mutation cannot corrupt a recorded trace.
+// later mutation — including release back to a Pool — cannot corrupt a
+// recorded trace. Interior option pointers are re-pointed at the
+// clone's own inline slots.
 func (s *Segment) Clone() *Segment {
-	c := *s
+	c := &Segment{}
+	*c = *s
+	c.pooled = false
+	c.Options = nil
+	c.sack.Blocks = nil
 	if len(s.Options) > 0 {
 		c.Options = make([]Option, len(s.Options))
-		copy(c.Options, s.Options)
+		for i, o := range s.Options {
+			switch v := o.(type) {
+			case *DSSOption:
+				c.dss = *v
+				c.Options[i] = &c.dss
+			case *SACKOption:
+				n := copy(c.sackArr[:], v.Blocks)
+				c.sack = SACKOption{Blocks: c.sackArr[:n]}
+				c.Options[i] = &c.sack
+			default:
+				c.Options[i] = o
+			}
+		}
 	}
-	return &c
+	return c
 }
 
 // SeqLT reports a < b in 32-bit TCP sequence arithmetic.

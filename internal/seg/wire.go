@@ -16,46 +16,58 @@ const (
 // lengths and checksums. Payload bytes are synthesized (a repeating
 // counter pattern) since the simulator tracks only payload length.
 func Encode(s *Segment) []byte {
-	optBytes := encodeOptions(nil, s.Options)
-	tcpLen := tcpBaseHeaderLen + len(optBytes) + s.PayloadLen
+	return AppendEncode(nil, s)
+}
+
+// AppendEncode appends the segment's wire bytes to dst and returns the
+// extended slice. Reusing one scratch buffer across calls makes
+// per-packet capture (pcap taps) allocation-free in steady state.
+func AppendEncode(dst []byte, s *Segment) []byte {
+	optLen := s.optionsWireLen()
+	tcpLen := tcpBaseHeaderLen + optLen + s.PayloadLen
 	total := ipv4HeaderLen + tcpLen
-	b := make([]byte, 0, total)
+	base := len(dst)
+	if cap(dst)-base < total {
+		grown := make([]byte, base, base+total)
+		copy(grown, dst)
+		dst = grown
+	}
 
 	// IPv4 header.
-	b = append(b, 0x45, 0) // version 4, IHL 5, DSCP 0
-	b = binary.BigEndian.AppendUint16(b, uint16(total))
-	b = append(b, 0, 0, 0x40, 0) // ID 0, flags DF, frag 0
-	b = append(b, 64, protoTCP)  // TTL, protocol
-	b = append(b, 0, 0)          // checksum placeholder
-	b = append(b, s.Src.IP[:]...)
-	b = append(b, s.Dst.IP[:]...)
-	csum := ipChecksum(b[:ipv4HeaderLen])
-	binary.BigEndian.PutUint16(b[10:], csum)
+	dst = append(dst, 0x45, 0) // version 4, IHL 5, DSCP 0
+	dst = binary.BigEndian.AppendUint16(dst, uint16(total))
+	dst = append(dst, 0, 0, 0x40, 0) // ID 0, flags DF, frag 0
+	dst = append(dst, 64, protoTCP)  // TTL, protocol
+	dst = append(dst, 0, 0)          // checksum placeholder
+	dst = append(dst, s.Src.IP[:]...)
+	dst = append(dst, s.Dst.IP[:]...)
+	csum := ipChecksum(dst[base : base+ipv4HeaderLen])
+	binary.BigEndian.PutUint16(dst[base+10:], csum)
 
 	// TCP header.
-	tcpStart := len(b)
-	b = binary.BigEndian.AppendUint16(b, s.Src.Port)
-	b = binary.BigEndian.AppendUint16(b, s.Dst.Port)
-	b = binary.BigEndian.AppendUint32(b, s.Seq)
-	b = binary.BigEndian.AppendUint32(b, s.Ack)
-	dataOff := byte((tcpBaseHeaderLen + len(optBytes)) / 4)
-	b = append(b, dataOff<<4, byte(s.Flags))
+	tcpStart := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, s.Src.Port)
+	dst = binary.BigEndian.AppendUint16(dst, s.Dst.Port)
+	dst = binary.BigEndian.AppendUint32(dst, s.Seq)
+	dst = binary.BigEndian.AppendUint32(dst, s.Ack)
+	dataOff := byte((tcpBaseHeaderLen + optLen) / 4)
+	dst = append(dst, dataOff<<4, byte(s.Flags))
 	win := s.Window
 	if win > 0xFFFF {
 		win = 0xFFFF // wire field is 16 bits; scaling is a receiver concern
 	}
-	b = binary.BigEndian.AppendUint16(b, uint16(win))
-	b = append(b, 0, 0, 0, 0) // checksum + urgent placeholder
-	b = append(b, optBytes...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(win))
+	dst = append(dst, 0, 0, 0, 0) // checksum + urgent placeholder
+	dst = encodeOptions(dst, s.Options)
 
 	// Synthesized payload.
 	for i := 0; i < s.PayloadLen; i++ {
-		b = append(b, byte(s.Seq)+byte(i))
+		dst = append(dst, byte(s.Seq)+byte(i))
 	}
 
-	tcsum := tcpChecksum(s.Src.IP, s.Dst.IP, b[tcpStart:])
-	binary.BigEndian.PutUint16(b[tcpStart+16:], tcsum)
-	return b
+	tcsum := tcpChecksum(s.Src.IP, s.Dst.IP, dst[tcpStart:])
+	binary.BigEndian.PutUint16(dst[tcpStart+16:], tcsum)
+	return dst
 }
 
 // Decode parses wire bytes produced by Encode (or any IPv4/TCP frame)

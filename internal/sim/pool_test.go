@@ -1,0 +1,305 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestCancelAfterFire: once an event has executed, its handle is stale
+// and Cancel must not disturb whichever event now occupies the recycled
+// record.
+func TestCancelAfterFire(t *testing.T) {
+	s := New()
+	var h Event
+	fired := 0
+	h = s.At(Millisecond, "first", func() {})
+	s.Run()
+
+	// The record behind h is now on the free list; this At reuses it.
+	e2 := s.At(2*Millisecond, "second", func() { fired++ })
+	if e2.rec != h.rec {
+		t.Fatalf("free list did not recycle the fired record")
+	}
+	s.Cancel(h) // stale generation: must be a no-op
+	if s.Pending() != 1 {
+		t.Fatalf("Pending = %d after stale cancel, want 1", s.Pending())
+	}
+	s.Run()
+	if fired != 1 {
+		t.Errorf("second event fired %d times, want 1 (stale cancel hit it)", fired)
+	}
+}
+
+// TestCancelAfterRecycle: a handle to a cancelled-and-discarded event
+// must not be able to cancel the record's next occupant.
+func TestCancelAfterRecycle(t *testing.T) {
+	s := New()
+	h := s.At(Millisecond, "doomed", func() { t.Error("cancelled event fired") })
+	s.Cancel(h)
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after cancel, want 0", s.Pending())
+	}
+	s.Run() // discards the dead record and recycles it
+
+	fired := false
+	e2 := s.At(Millisecond, "heir", func() { fired = true })
+	if e2.rec != h.rec {
+		t.Fatalf("free list did not recycle the cancelled record")
+	}
+	s.Cancel(h) // stale handle from the previous generation
+	s.Run()
+	if !fired {
+		t.Error("stale cancel killed the recycled record's new event")
+	}
+}
+
+// TestPendingExcludesCancelled pins the documented Pending contract.
+func TestPendingExcludesCancelled(t *testing.T) {
+	s := New()
+	var hs []Event
+	for i := 0; i < 5; i++ {
+		hs = append(hs, s.At(Time(i+1)*Millisecond, "e", func() {}))
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending = %d, want 5", s.Pending())
+	}
+	s.Cancel(hs[1])
+	s.Cancel(hs[3])
+	if s.Pending() != 3 {
+		t.Fatalf("Pending = %d after 2 cancels, want 3", s.Pending())
+	}
+	s.Step()
+	if s.Pending() != 2 {
+		t.Fatalf("Pending = %d after step, want 2", s.Pending())
+	}
+	s.Run()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", s.Pending())
+	}
+}
+
+// TestRunningFlag: RunUntil and RunFor must maintain the same
+// re-entrancy flag that Run does.
+func TestRunningFlag(t *testing.T) {
+	s := New()
+	if s.Running() {
+		t.Fatal("fresh simulator reports Running")
+	}
+	checks := 0
+	observe := func() {
+		if !s.Running() {
+			t.Error("Running() false inside an event handler")
+		}
+		checks++
+	}
+	s.At(Millisecond, "a", observe)
+	s.Run()
+	s.At(2*Millisecond, "b", observe)
+	s.RunUntil(3 * Millisecond)
+	s.At(4*Millisecond, "c", observe)
+	s.RunFor(5 * Millisecond)
+	if checks != 3 {
+		t.Fatalf("observed %d handlers, want 3", checks)
+	}
+	if s.Running() {
+		t.Error("Running() true after loops returned")
+	}
+}
+
+// TestTimerFireReusesCallback: re-arming a timer many times schedules
+// the same bound function and every arm-fire cycle works.
+func TestTimerResetStormSingle(t *testing.T) {
+	s := New()
+	fired := 0
+	tm := NewTimer(s, "rto", func() { fired++ })
+	for i := 0; i < 1000; i++ {
+		tm.Reset(Millisecond) // re-arm storm, like an RTO on every ACK
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("timer fired %d times after storm, want 1", fired)
+	}
+	// Steady state: a second identical storm must recycle the first
+	// storm's records instead of growing the pool.
+	poolSize := len(s.free)
+	fired = 0
+	for i := 0; i < 1000; i++ {
+		tm.Reset(Millisecond)
+	}
+	s.Run()
+	if fired != 1 {
+		t.Fatalf("timer fired %d times after second storm, want 1", fired)
+	}
+	if len(s.free) > poolSize {
+		t.Errorf("free list grew from %d to %d across identical storms", poolSize, len(s.free))
+	}
+
+	// Fire/re-arm cycles: arm inside the callback.
+	cycles := 0
+	var rearm *Timer
+	rearm = NewTimer(s, "cycle", func() {
+		if cycles++; cycles < 100 {
+			rearm.Reset(Millisecond)
+		}
+	})
+	rearm.Reset(Millisecond)
+	s.Run()
+	if cycles != 100 {
+		t.Fatalf("arm-fire cycles = %d, want 100", cycles)
+	}
+}
+
+// TestTimerResetStormTwoSimulators runs independent Reset storms on two
+// simulators in two goroutines. Under -race this verifies that pooling
+// kept all state per-simulator (no shared free lists or counters).
+func TestTimerResetStormTwoSimulators(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			s := New()
+			fired := 0
+			timers := make([]*Timer, 8)
+			for i := range timers {
+				timers[i] = NewTimer(s, "storm", func() { fired++ })
+			}
+			for round := 0; round < 500; round++ {
+				for i, tm := range timers {
+					tm.Reset(Time(seed+i+1) * Microsecond)
+				}
+				s.RunFor(Millisecond)
+			}
+			if fired != 500*len(timers) {
+				t.Errorf("sim %d: fired %d, want %d", seed, fired, 500*len(timers))
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// refEvent is the fuzz oracle's event representation: a plain sorted
+// list with explicit cancelled flags, executed by linear scan.
+type refEvent struct {
+	at        Time
+	seq       uint64
+	id        int
+	cancelled bool
+}
+
+// FuzzScheduler drives the pooled scheduler and a brute-force reference
+// model through the same interleaving of At/After/Cancel/Step and
+// demands identical execution order, clocks, and pending counts.
+func FuzzScheduler(f *testing.F) {
+	f.Add([]byte{0, 10, 1, 5, 3, 2, 0, 3})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 3, 3, 3, 3})
+	f.Add([]byte{1, 200, 2, 0, 3, 1, 100, 2, 1, 3, 3})
+	f.Fuzz(func(t *testing.T, ops []byte) {
+		s := New()
+		var ref []refEvent
+		var refSeq uint64
+		refNow := Time(0)
+		var handles []Event // handle per scheduled event, by id
+		var gotOrder, wantOrder []int
+		nextID := 0
+
+		schedule := func(at Time) {
+			id := nextID
+			nextID++
+			handles = append(handles, s.At(at, "f", func() { gotOrder = append(gotOrder, id) }))
+			ref = append(ref, refEvent{at: at, seq: refSeq, id: id})
+			refSeq++
+		}
+		refStep := func() bool {
+			best := -1
+			for i := range ref {
+				if ref[i].cancelled {
+					continue
+				}
+				if best < 0 || ref[i].at < ref[best].at ||
+					(ref[i].at == ref[best].at && ref[i].seq < ref[best].seq) {
+					best = i
+				}
+			}
+			if best < 0 {
+				return false
+			}
+			refNow = ref[best].at
+			wantOrder = append(wantOrder, ref[best].id)
+			ref = append(ref[:best], ref[best+1:]...)
+			return true
+		}
+		refPending := func() int {
+			n := 0
+			for i := range ref {
+				if !ref[i].cancelled {
+					n++
+				}
+			}
+			return n
+		}
+
+		for i := 0; i < len(ops); i++ {
+			switch ops[i] % 4 {
+			case 0: // At(now + delta)
+				var delta byte
+				if i+1 < len(ops) {
+					i++
+					delta = ops[i]
+				}
+				schedule(s.Now() + Time(delta)*Microsecond)
+			case 1: // After(delta)
+				var delta byte
+				if i+1 < len(ops) {
+					i++
+					delta = ops[i]
+				}
+				schedule(s.Now() + Time(delta)*Microsecond)
+			case 2: // Cancel an arbitrary handle (live or stale)
+				if len(handles) == 0 {
+					continue
+				}
+				var pick byte
+				if i+1 < len(ops) {
+					i++
+					pick = ops[i]
+				}
+				id := int(pick) % len(handles)
+				s.Cancel(handles[id])
+				for j := range ref {
+					if ref[j].id == id {
+						ref[j].cancelled = true
+					}
+				}
+			case 3: // Step
+				got := s.Step()
+				want := refStep()
+				if got != want {
+					t.Fatalf("op %d: Step = %v, reference = %v", i, got, want)
+				}
+			}
+			if s.Pending() != refPending() {
+				t.Fatalf("op %d: Pending = %d, reference = %d", i, s.Pending(), refPending())
+			}
+		}
+		for s.Step() {
+			if !refStep() {
+				t.Fatal("scheduler ran more events than reference")
+			}
+		}
+		if refStep() {
+			t.Fatal("reference has events the scheduler dropped")
+		}
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("executed %d events, reference %d", len(gotOrder), len(wantOrder))
+		}
+		for i := range gotOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("execution order diverges at %d: got %v, want %v", i, gotOrder, wantOrder)
+			}
+		}
+		if s.Now() != refNow {
+			t.Fatalf("clock = %v, reference = %v", s.Now(), refNow)
+		}
+	})
+}

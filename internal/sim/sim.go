@@ -11,10 +11,19 @@
 // event handler runs to completion before the next one starts. All of
 // mptcplab's substrates (queues, links, TCP endpoints, MPTCP
 // connections, applications) are driven by one Simulator instance.
+//
+// The hot path is allocation-free: event records live in a per-
+// simulator free-list pool and are recycled after they fire or are
+// discarded, the priority queue is a concrete 4-ary min-heap over
+// those pooled records (no container/heap, no interface boxing), and
+// cancellation is lazy — Cancel marks the record dead in O(1) and the
+// pop loop discards it, instead of paying an O(log n) heap removal.
+// Generation counters make recycling safe: an Event handle held after
+// its record was recycled can no longer cancel (or observe) the new
+// occupant.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -51,61 +60,60 @@ func (t Time) Milliseconds() float64 {
 // String formats the time like a time.Duration.
 func (t Time) String() string { return time.Duration(t).String() }
 
-// Event is a scheduled callback. The zero Event is invalid; events are
-// created by the Simulator's scheduling methods.
-type Event struct {
+// eventRec is one pooled event record. Records are allocated once and
+// recycled through the simulator's free list; gen is bumped on every
+// recycle so stale Event handles cannot touch the new occupant.
+type eventRec struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among equal timestamps
 	fn   func()
 	name string // for debugging
-	idx  int    // heap index; -1 when not queued
-	dead bool   // cancelled
+	gen  uint32
+	dead bool // cancelled; discarded at pop
 }
 
-// Time reports when the event will fire.
-func (e *Event) Time() Time { return e.at }
+// Event is a handle to a scheduled callback. The zero Event is invalid
+// and safe to Cancel (a no-op). Handles are values: they stay cheap to
+// copy and, thanks to the generation counter, become inert once the
+// underlying record fires, is cancelled, or is recycled.
+type Event struct {
+	rec *eventRec
+	gen uint32
+}
 
-// Name reports the debug label given at scheduling time.
-func (e *Event) Name() string { return e.name }
+// live reports whether the handle still refers to the record's current
+// occupancy.
+func (e Event) live() bool { return e.rec != nil && e.rec.gen == e.gen }
 
-// Cancelled reports whether Cancel was called on the event.
-func (e *Event) Cancelled() bool { return e.dead }
-
-// eventQueue implements heap.Interface ordered by (at, seq).
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+// Time reports when the event will fire, or MaxTime if the handle is
+// stale (fired, cancelled and recycled, or zero).
+func (e Event) Time() Time {
+	if !e.live() {
+		return MaxTime
 	}
-	return q[i].seq < q[j].seq
+	return e.rec.at
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
+
+// Name reports the debug label given at scheduling time, or "" for a
+// stale handle.
+func (e Event) Name() string {
+	if !e.live() {
+		return ""
+	}
+	return e.rec.name
 }
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*q = old[:n-1]
-	return e
-}
+
+// Cancelled reports whether Cancel was called on the event while its
+// handle was still live.
+func (e Event) Cancelled() bool { return e.live() && e.rec.dead }
 
 // Simulator is a discrete-event scheduler with a virtual clock.
 // The zero value is ready to use.
 type Simulator struct {
 	now     Time
-	queue   eventQueue
+	queue   []*eventRec // 4-ary min-heap by (at, seq)
+	free    []*eventRec // recycled records
+	live    int         // queued, not-cancelled events
 	nextSeq uint64
 	ran     uint64
 	running bool
@@ -121,62 +129,106 @@ func (s *Simulator) Now() Time { return s.now }
 // Processed reports how many events have been executed so far.
 func (s *Simulator) Processed() uint64 { return s.ran }
 
-// Pending reports how many events are queued (including cancelled
-// events that have not yet been discarded).
-func (s *Simulator) Pending() int { return len(s.queue) }
+// Pending reports how many live (not cancelled) events are queued.
+// Cancelled events awaiting lazy discard are excluded.
+func (s *Simulator) Pending() int { return s.live }
+
+// alloc takes a record from the free list, or makes a new one.
+func (s *Simulator) alloc() *eventRec {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
+	}
+	return &eventRec{}
+}
+
+// recycle bumps the record's generation (invalidating outstanding
+// handles) and returns it to the free list.
+func (s *Simulator) recycle(e *eventRec) {
+	e.gen++
+	e.fn = nil
+	e.name = ""
+	e.dead = false
+	s.free = append(s.free, e)
+}
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past (before Now) panics: that is always a protocol-logic bug and
 // silently reordering events would corrupt causality.
-func (s *Simulator) At(at Time, name string, fn func()) *Event {
+func (s *Simulator) At(at Time, name string, fn func()) Event {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v, before now %v", name, at, s.now))
 	}
-	e := &Event{at: at, seq: s.nextSeq, fn: fn, name: name}
+	e := s.alloc()
+	e.at = at
+	e.seq = s.nextSeq
+	e.fn = fn
+	e.name = name
+	e.dead = false
 	s.nextSeq++
-	heap.Push(&s.queue, e)
-	return e
+	s.push(e)
+	s.live++
+	return Event{rec: e, gen: e.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
-func (s *Simulator) After(d Time, name string, fn func()) *Event {
+func (s *Simulator) After(d Time, name string, fn func()) Event {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now+d, name, fn)
 }
 
-// Cancel removes e from the schedule. Cancelling a nil, already-fired,
-// or already-cancelled event is a no-op.
-func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.dead {
+// Cancel removes e from the schedule. The removal is lazy: the record
+// is marked dead in O(1) and discarded when it reaches the head of the
+// queue. Cancelling a zero, stale (already fired or already recycled),
+// or already-cancelled handle is a no-op.
+func (s *Simulator) Cancel(e Event) {
+	if !e.live() || e.rec.dead {
 		return
 	}
-	e.dead = true
-	if e.idx >= 0 {
-		heap.Remove(&s.queue, e.idx)
-	}
+	e.rec.dead = true
+	s.live--
 }
 
 // Stop makes Run return after the currently executing event handler
 // (if any) completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// peek discards dead records from the head of the queue and returns
+// the next live event, or nil if none remain.
+func (s *Simulator) peek() *eventRec {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.dead {
+			return e
+		}
+		s.pop()
+		s.recycle(e)
+	}
+	return nil
+}
+
 // Step executes the single next event, if any, and reports whether one
 // was executed.
 func (s *Simulator) Step() bool {
-	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
-		if e.dead {
-			continue
-		}
-		s.now = e.at
-		e.dead = true
-		s.ran++
-		e.fn()
-		return true
+	e := s.peek()
+	if e == nil {
+		return false
 	}
-	return false
+	s.pop()
+	s.now = e.at
+	s.live--
+	s.ran++
+	fn := e.fn
+	// Recycle before running: the handler may schedule (reusing this
+	// record under a fresh generation), and any handle to the firing
+	// event — e.g. its own timer — must already be stale.
+	s.recycle(e)
+	fn()
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
@@ -189,15 +241,15 @@ func (s *Simulator) Run() {
 }
 
 // RunUntil executes events with timestamps <= deadline, advancing the
-// clock to exactly deadline when the queue runs dry earlier.
+// clock to exactly deadline when the queue runs dry earlier. Like Run,
+// it holds the running flag for re-entrancy detection.
 func (s *Simulator) RunUntil(deadline Time) {
+	s.running = true
+	defer func() { s.running = false }()
 	s.stopped = false
 	for !s.stopped {
-		if len(s.queue) == 0 {
-			break
-		}
-		// Peek.
-		if s.queue[0].at > deadline {
+		e := s.peek()
+		if e == nil || e.at > deadline {
 			break
 		}
 		s.Step()
@@ -210,55 +262,124 @@ func (s *Simulator) RunUntil(deadline Time) {
 // RunFor executes events for d of virtual time from now.
 func (s *Simulator) RunFor(d Time) { s.RunUntil(s.now + d) }
 
+// Running reports whether a Run/RunUntil/RunFor loop is active — i.e.
+// the caller is inside an event handler.
+func (s *Simulator) Running() bool { return s.running }
+
+// --- 4-ary min-heap over (at, seq) ---
+//
+// A 4-ary heap does ~half the levels of a binary heap on sift-down,
+// which is where a simulator's pop-heavy workload spends its time; the
+// comparisons stay cache-friendly because all four children are
+// adjacent in the backing slice.
+
+func eventLess(a, b *eventRec) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) push(e *eventRec) {
+	s.queue = append(s.queue, e)
+	i := len(s.queue) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !eventLess(s.queue[i], s.queue[parent]) {
+			break
+		}
+		s.queue[i], s.queue[parent] = s.queue[parent], s.queue[i]
+		i = parent
+	}
+}
+
+// pop removes the minimum record (the caller has already read it via
+// peek or s.queue[0]).
+func (s *Simulator) pop() {
+	n := len(s.queue) - 1
+	s.queue[0] = s.queue[n]
+	s.queue[n] = nil
+	s.queue = s.queue[:n]
+	if n == 0 {
+		return
+	}
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= n {
+			break
+		}
+		min := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if eventLess(s.queue[c], s.queue[min]) {
+				min = c
+			}
+		}
+		if !eventLess(s.queue[min], s.queue[i]) {
+			break
+		}
+		s.queue[i], s.queue[min] = s.queue[min], s.queue[i]
+		i = min
+	}
+}
+
 // Timer is a restartable one-shot timer bound to a Simulator, in the
 // style of time.Timer but in virtual time. It is the building block
 // for TCP retransmission and delayed-ACK timers.
+//
+// A Timer binds its expiry callback once, at construction: re-arming
+// via Reset schedules the same bound function instead of allocating a
+// fresh closure per re-arm (RTO timers re-arm on every ACK).
 type Timer struct {
 	sim  *Simulator
 	name string
 	fn   func()
-	ev   *Event
+	fire func() // bound once; clears ev then invokes fn
+	ev   Event
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it fires.
 func NewTimer(s *Simulator, name string, fn func()) *Timer {
-	return &Timer{sim: s, name: name, fn: fn}
+	t := &Timer{sim: s, name: name, fn: fn}
+	t.fire = func() {
+		t.ev = Event{}
+		t.fn()
+	}
+	return t
 }
 
 // Reset (re)arms the timer to fire d from now, replacing any pending
 // expiry.
 func (t *Timer) Reset(d Time) {
 	t.Stop()
-	t.ev = t.sim.After(d, t.name, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.sim.After(d, t.name, t.fire)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.ev = t.sim.At(at, t.name, func() {
-		t.ev = nil
-		t.fn()
-	})
+	t.ev = t.sim.At(at, t.name, t.fire)
 }
 
 // Stop disarms the timer if it is pending.
 func (t *Timer) Stop() {
-	if t.ev != nil {
+	if t.ev.live() {
 		t.sim.Cancel(t.ev)
-		t.ev = nil
 	}
+	t.ev = Event{}
 }
 
 // Armed reports whether the timer currently has a pending expiry.
-func (t *Timer) Armed() bool { return t.ev != nil }
+func (t *Timer) Armed() bool { return t.ev.live() && !t.ev.Cancelled() }
 
 // Deadline reports when the timer will fire, or MaxTime if disarmed.
 func (t *Timer) Deadline() Time {
-	if t.ev == nil {
+	if !t.Armed() {
 		return MaxTime
 	}
-	return t.ev.at
+	return t.ev.Time()
 }

@@ -59,8 +59,8 @@ func TestCancel(t *testing.T) {
 	fired := false
 	e := s.At(Millisecond, "x", func() { fired = true })
 	s.Cancel(e)
-	s.Cancel(e) // double-cancel is a no-op
-	s.Cancel(nil)
+	s.Cancel(e)       // double-cancel is a no-op
+	s.Cancel(Event{}) // zero handle is a no-op
 	s.Run()
 	if fired {
 		t.Error("cancelled event fired")

@@ -198,11 +198,14 @@ type Endpoint struct {
 	ackedPrevLoss  int64
 
 	// Receive state.
-	irs        uint32
-	rcvNxt     uint32
-	ooo        rcvRanges
-	finRcvd    bool
-	finRcvdSeq uint32
+	irs    uint32
+	rcvNxt uint32
+	ooo    rcvRanges
+	// sackScratch backs the SACK blocks of each outgoing ACK; AddSACK
+	// copies them into the segment, so reuse across ACKs is safe.
+	sackScratch [3]seg.SACKBlock
+	finRcvd     bool
+	finRcvdSeq  uint32
 
 	delAckPending int
 	delAckTimer   *sim.Timer

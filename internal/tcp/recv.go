@@ -127,11 +127,9 @@ func (e *Endpoint) processAck(s *seg.Segment) {
 	e.updatePeerWindow(s)
 
 	// Fold in SACK information.
-	if o := s.Option(seg.KindSACK); o != nil {
-		for _, b := range o.(seg.SACKOption).Blocks {
-			if seg.SeqGT(b.End, e.sndUna) && seg.SeqLEQ(b.End, e.sndNxt) {
-				e.board.Add(b)
-			}
+	for _, b := range s.GetSACK() {
+		if seg.SeqGT(b.End, e.sndUna) && seg.SeqLEQ(b.End, e.sndNxt) {
+			e.board.Add(b)
 		}
 	}
 

@@ -152,7 +152,15 @@ func (r *rcvRanges) Blocks(max int) []seg.SACKBlock {
 	if len(r.ranges) == 0 {
 		return nil
 	}
-	blocks := make([]seg.SACKBlock, 0, max)
+	return r.AppendBlocks(make([]seg.SACKBlock, 0, max), max)
+}
+
+// AppendBlocks is Blocks with a caller-supplied destination, so the
+// per-ACK path can reuse one scratch array instead of allocating.
+func (r *rcvRanges) AppendBlocks(blocks []seg.SACKBlock, max int) []seg.SACKBlock {
+	if len(r.ranges) == 0 {
+		return blocks
+	}
 	// Most recent first.
 	for _, x := range r.ranges {
 		if seg.SeqLEQ(x.Start, r.recent.Start) && seg.SeqGEQ(x.End, r.recent.End) {

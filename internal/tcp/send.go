@@ -3,15 +3,16 @@ package tcp
 import "mptcplab/internal/seg"
 
 // newSegment builds an outgoing segment with the current ACK state and
-// advertised window.
+// advertised window. The segment comes from the host's pool and is
+// surrendered when sent; every newSegment must be paired with a
+// host.Send.
 func (e *Endpoint) newSegment(flags seg.Flags, seqn uint32, payload int) *seg.Segment {
-	s := &seg.Segment{
-		Src:        e.Local,
-		Dst:        e.Remote,
-		Seq:        seqn,
-		Flags:      flags,
-		PayloadLen: payload,
-	}
+	s := e.host.NewSegment()
+	s.Src = e.Local
+	s.Dst = e.Remote
+	s.Seq = seqn
+	s.Flags = flags
+	s.PayloadLen = payload
 	if flags.Has(seg.ACK) {
 		s.Ack = e.rcvNxt
 	}
@@ -304,8 +305,8 @@ func (e *Endpoint) noteLossEvent() {
 // sendAck emits a pure ACK immediately.
 func (e *Endpoint) sendAck() {
 	s := e.newSegment(seg.ACK, e.sndNxt, 0)
-	if blocks := e.ooo.Blocks(3); len(blocks) > 0 {
-		s.AddOption(seg.SACKOption{Blocks: blocks})
+	if blocks := e.ooo.AppendBlocks(e.sackScratch[:0], 3); len(blocks) > 0 {
+		s.AddSACK(blocks)
 	}
 	if e.BuildOptions != nil {
 		e.BuildOptions(s, KindAck)

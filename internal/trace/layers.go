@@ -61,11 +61,16 @@ type TCPLayer struct {
 // LayerType implements Layer.
 func (*TCPLayer) LayerType() LayerType { return LayerTypeTCP }
 
-// DSS returns the segment's DSS option, if any.
+// DSS returns the segment's DSS option, if any. Decoded frames carry
+// it by value; segments captured in-memory may carry the sender's
+// inline pointer form.
 func (t *TCPLayer) DSS() (seg.DSSOption, bool) {
 	for _, o := range t.Options {
-		if d, ok := o.(seg.DSSOption); ok {
+		switch d := o.(type) {
+		case seg.DSSOption:
 			return d, true
+		case *seg.DSSOption:
+			return *d, true
 		}
 	}
 	return seg.DSSOption{}, false

@@ -10,13 +10,17 @@ import (
 )
 
 // PcapTap returns a host tap (tcpdump analog) that encodes every
-// packet crossing the host's interfaces to a pcap stream.
+// packet crossing the host's interfaces to a pcap stream. One scratch
+// buffer is reused across packets (the writer copies bytes out before
+// returning), so steady-state capture does not allocate per frame.
 func PcapTap(w *pcap.Writer) netem.Tap {
+	var scratch []byte
 	return func(dir netem.Direction, at sim.Time, s *seg.Segment) {
 		// Both directions are captured, as tcpdump would; the frame
 		// itself identifies direction via its addresses.
 		_ = dir
-		_ = w.WritePacket(pcap.Packet{TS: int64(at), Data: seg.Encode(s)})
+		scratch = seg.AppendEncode(scratch[:0], s)
+		_ = w.WritePacket(pcap.Packet{TS: int64(at), Data: scratch})
 	}
 }
 
