@@ -4,7 +4,7 @@ SHA := $(shell git rev-parse --short HEAD)
 # Benchmarks archived per commit and gated on allocs/op by benchjson.
 GATED_BENCHES := BenchmarkSimEventLoop|BenchmarkSegEncodeDecode|BenchmarkSingleDownload4MB|BenchmarkTCPSingle4MB
 
-.PHONY: all build test race vet bench
+.PHONY: all build test race vet bench fuzz-smoke cover
 
 all: vet build test
 
@@ -26,3 +26,23 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_$(SHA).json
+
+# fuzz-smoke gives each native fuzz target a short budget beyond its
+# checked-in corpus, then sweeps the adversarial scenario fuzzer over
+# 200 seeded scenarios with the full invariant checker armed. Any
+# violation prints a one-line replay token (mptcpfuzz -replay seed:mask).
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzSegDecode$$' -fuzztime $(FUZZTIME) ./internal/seg/
+	$(GO) test -run '^$$' -fuzz '^FuzzReorderInsert$$' -fuzztime $(FUZZTIME) ./internal/mptcp/
+	$(GO) run ./cmd/mptcpfuzz -n 200 -seed 1
+
+# cover enforces the statement-coverage floor (baseline 72.7% when the
+# gate landed; the floor leaves a little slack for counter drift).
+COVER_FLOOR ?= 72.0
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 >= f+0) ? 0 : 1 }' \
+		|| { echo "coverage $$total% fell below the $(COVER_FLOOR)% floor"; exit 1; }

@@ -1,0 +1,418 @@
+package check
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"mptcplab/internal/mptcp"
+	"mptcplab/internal/netem"
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/trace"
+	"mptcplab/internal/units"
+	"mptcplab/internal/web"
+)
+
+// FaultKind enumerates the adversarial events the fuzzer composes.
+type FaultKind int
+
+// Fault kinds.
+const (
+	FaultWiFiOutage FaultKind = iota
+	FaultCellOutage
+	FaultBurstLoss     // Bernoulli loss spike on the WiFi path
+	FaultChaosWindow   // duplication + extreme reordering on the WiFi path
+	FaultRemoveAddr    // client tears an interface down via REMOVE_ADDR
+	FaultHandoverStorm // rapid WiFi down/up toggles
+	faultKinds
+)
+
+// String names the fault for replay logs.
+func (k FaultKind) String() string {
+	switch k {
+	case FaultWiFiOutage:
+		return "wifi-outage"
+	case FaultCellOutage:
+		return "cell-outage"
+	case FaultBurstLoss:
+		return "burst-loss"
+	case FaultChaosWindow:
+		return "chaos"
+	case FaultRemoveAddr:
+		return "remove-addr"
+	case FaultHandoverStorm:
+		return "handover-storm"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// Fault is one timed adversarial event in a scenario.
+type Fault struct {
+	Kind FaultKind
+	At   sim.Time
+	Dur  sim.Time
+	Par  float64 // kind-specific intensity
+}
+
+func (f Fault) String() string {
+	return fmt.Sprintf("%v@%v+%v(%.2f)", f.Kind, f.At, f.Dur, f.Par)
+}
+
+// PathParams sizes one access network of a scenario.
+type PathParams struct {
+	Rate  units.BitRate
+	Delay sim.Time
+	Loss  float64
+	Queue units.ByteCount
+}
+
+// Scenario is one fully seeded adversarial run: every parameter —
+// topology, transfer, and the fault script — derives deterministically
+// from Seed, and Mask selects which generated faults are active (bit i
+// keeps Faults[i]). Shrinking only clears mask bits, so a scenario is
+// always replayable from the "seed:mask" token alone.
+type Scenario struct {
+	Seed         int64
+	Size         int
+	FourPaths    bool
+	Simultaneous bool
+	RcvBuf       units.ByteCount
+	WiFi, Cell   PathParams
+	Faults       []Fault
+	Mask         uint64
+}
+
+// maxFaults bounds the script length so Mask always fits.
+const maxFaults = 8
+
+// GenScenario derives the scenario for a case seed.
+func GenScenario(seed int64) Scenario {
+	rng := sim.NewRNG(seed).Child("scenario")
+	sc := Scenario{
+		Seed:         seed,
+		Size:         16<<10 + rng.Intn(240<<10),
+		FourPaths:    rng.Bool(0.25),
+		Simultaneous: rng.Bool(0.5),
+		RcvBuf:       units.ByteCount(64<<10 + rng.Intn(2<<20)),
+		WiFi: PathParams{
+			Rate:  units.BitRate(rng.Uniform(2e6, 30e6)),
+			Delay: rng.Duration(5*sim.Millisecond, 40*sim.Millisecond),
+			Loss:  rng.Uniform(0, 0.02),
+			Queue: units.ByteCount(50<<10 + rng.Intn(250<<10)),
+		},
+		Cell: PathParams{
+			Rate:  units.BitRate(rng.Uniform(1e6, 10e6)),
+			Delay: rng.Duration(30*sim.Millisecond, 120*sim.Millisecond),
+			Loss:  rng.Uniform(0, 0.005),
+			Queue: units.ByteCount(100<<10 + rng.Intn(650<<10)),
+		},
+	}
+	n := rng.Intn(maxFaults + 1)
+	for i := 0; i < n; i++ {
+		f := Fault{
+			Kind: FaultKind(rng.Intn(int(faultKinds))),
+			At:   rng.Duration(0, 4*sim.Second),
+			Dur:  rng.Duration(50*sim.Millisecond, 2*sim.Second),
+			Par:  rng.Uniform(0.05, 0.5),
+		}
+		if i == 0 && rng.Bool(0.3) {
+			// Bias one fault onto the handshake window.
+			f.At = rng.Duration(0, 200*sim.Millisecond)
+		}
+		sc.Faults = append(sc.Faults, f)
+	}
+	if len(sc.Faults) > 0 {
+		sc.Mask = (uint64(1) << len(sc.Faults)) - 1
+	}
+	return sc
+}
+
+// ActiveFaults returns the faults selected by the mask.
+func (sc Scenario) ActiveFaults() []Fault {
+	var out []Fault
+	for i, f := range sc.Faults {
+		if sc.Mask&(uint64(1)<<i) != 0 {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Replay renders the one-line token that reproduces this scenario.
+func (sc Scenario) Replay() string {
+	return fmt.Sprintf("%d:%x", sc.Seed, sc.Mask)
+}
+
+// ParseReplay reconstructs a scenario from a "seed:mask" token (a bare
+// seed means all generated faults active).
+func ParseReplay(tok string) (Scenario, error) {
+	seedStr, maskStr, hasMask := strings.Cut(tok, ":")
+	seed, err := strconv.ParseInt(seedStr, 10, 64)
+	if err != nil {
+		return Scenario{}, fmt.Errorf("check: bad replay seed %q: %v", seedStr, err)
+	}
+	sc := GenScenario(seed)
+	if hasMask {
+		mask, err := strconv.ParseUint(maskStr, 16, 64)
+		if err != nil {
+			return Scenario{}, fmt.Errorf("check: bad replay mask %q: %v", maskStr, err)
+		}
+		sc.Mask = mask
+	}
+	return sc, nil
+}
+
+// Harness is one materialized fuzz topology: the Figure-1 shape
+// (client with WiFi + cellular interfaces, dual-homed server) built
+// directly on netem/mptcp primitives with the checker armed on every
+// host and link. Bug-injection hooks (tests only) receive it before
+// the simulation runs.
+type Harness struct {
+	Sim            *sim.Simulator
+	Net            *netem.Network
+	Client, Server *netem.Host
+
+	WiFiUp, WiFiDown *netem.Link
+	CellUp, CellDown *netem.Link
+
+	WiFiAddr, CellAddr seg.Addr
+	SrvAddr, SrvAddr2  seg.Addr
+
+	Checker    *Checker
+	ClientConn *mptcp.Conn
+	ServerConn *mptcp.Conn
+}
+
+// Report is the outcome of one fuzzed scenario.
+type Report struct {
+	Scenario   Scenario
+	Completed  bool
+	Delivered  int64
+	Violations []Violation
+	Count      int
+}
+
+// Ok reports a violation-free run.
+func (r Report) Ok() bool { return r.Count == 0 }
+
+// scenarioDeadline bounds one fuzz case in virtual time; every fault
+// ends well before it, so a healthy stack always finishes or stalls
+// into a stable state by then.
+const scenarioDeadline = 120 * sim.Second
+
+// RunScenario executes one scenario with the checker armed and returns
+// what it found. bug, if non-nil, runs after the harness is built and
+// before the simulation starts — the test hook used to prove the
+// checker catches deliberately injected corruption.
+func RunScenario(sc Scenario, bug func(*Harness)) Report {
+	s := sim.New()
+	rng := sim.NewRNG(sc.Seed)
+	n := netem.NewNetwork(s)
+
+	h := &Harness{
+		Sim: s, Net: n,
+		Client:   n.NewHost("client"),
+		Server:   n.NewHost("server"),
+		WiFiAddr: seg.MakeAddr("10.0.0.2", 40000),
+		CellAddr: seg.MakeAddr("172.16.0.2", 40001),
+		SrvAddr:  seg.MakeAddr("192.168.1.1", 8080),
+		SrvAddr2: seg.MakeAddr("192.168.2.1", 8080),
+		Checker:  New(s),
+	}
+
+	access := func(name string, p PathParams) *netem.Link {
+		l := netem.NewLink(s, rng, name)
+		l.Rate = p.Rate
+		l.PropDelay = p.Delay
+		l.QueueLimit = p.Queue
+		if p.Loss > 0 {
+			l.Loss = netem.BernoulliLoss{P: p.Loss}
+		}
+		return l
+	}
+	lan := func(name string) *netem.Link {
+		l := netem.NewLink(s, rng, name)
+		l.Rate = 1 * units.Gbps
+		l.PropDelay = 500 * sim.Microsecond
+		l.QueueLimit = 16 * units.MB
+		return l
+	}
+	h.WiFiUp, h.WiFiDown = access("wifi-up", sc.WiFi), access("wifi-down", sc.WiFi)
+	h.CellUp, h.CellDown = access("cell-up", sc.Cell), access("cell-down", sc.Cell)
+	srv1In, srv1Out := lan("srv1-in"), lan("srv1-out")
+
+	addPath := func(cli, srv seg.Addr, up, down, lin, lout *netem.Link) {
+		n.AddDuplexRoute(cli.IP, srv.IP, h.Client, h.Server,
+			[]*netem.Link{up, lin}, []*netem.Link{lout, down})
+	}
+	addPath(h.WiFiAddr, h.SrvAddr, h.WiFiUp, h.WiFiDown, srv1In, srv1Out)
+	addPath(h.CellAddr, h.SrvAddr, h.CellUp, h.CellDown, srv1In, srv1Out)
+	if sc.FourPaths {
+		srv2In, srv2Out := lan("srv2-in"), lan("srv2-out")
+		addPath(h.WiFiAddr, h.SrvAddr2, h.WiFiUp, h.WiFiDown, srv2In, srv2Out)
+		addPath(h.CellAddr, h.SrvAddr2, h.CellUp, h.CellDown, srv2In, srv2Out)
+	}
+
+	ck := h.Checker
+	trace.AttachObserver(h.Client, ck)
+	trace.AttachObserver(h.Server, ck)
+	for _, l := range []*netem.Link{h.WiFiUp, h.WiFiDown, h.CellUp, h.CellDown, srv1In, srv1Out} {
+		ck.ArmLink(l)
+	}
+
+	cfg := mptcp.DefaultConfig()
+	cfg.SimultaneousSYN = sc.Simultaneous
+	cfg.TCP.RcvBuf = sc.RcvBuf
+	cfg.RcvBuf = sc.RcvBuf
+
+	fs := &web.FileServer{SizeFor: func(int) int { return sc.Size }}
+	srv := mptcp.NewServer(h.Server, n, 8080, cfg, rng.Child("srv"))
+	if sc.FourPaths {
+		srv.AdvertiseAddrs = []seg.Addr{h.SrvAddr2}
+	}
+	srv.OnConn = func(c *mptcp.Conn) {
+		h.ServerConn = c
+		fs.ServeStream(web.MPTCPStream{Conn: c})
+		ck.WatchConn("server", c)
+	}
+
+	conn := mptcp.Dial(n, h.Client, mptcp.DialOpts{
+		LocalAddrs:     []seg.Addr{h.WiFiAddr, h.CellAddr},
+		Labels:         []string{"wifi", "cell"},
+		ServerAddr:     h.SrvAddr,
+		JoinAdvertised: sc.FourPaths,
+		Config:         cfg,
+	}, rng.Child("cli"))
+	h.ClientConn = conn
+	ck.WatchConn("client", conn)
+
+	getter := web.NewGetter(web.MPTCPStream{Conn: conn})
+	completed := false
+	getter.Get(sc.Size, func() {
+		completed = true
+		getter.Close()
+	})
+
+	h.scheduleFaults(sc)
+	ck.ArmProbes(25 * sim.Millisecond)
+	if bug != nil {
+		bug(h)
+	}
+
+	s.RunUntil(scenarioDeadline)
+
+	if h.ServerConn != nil {
+		ck.CheckTransfer("download", h.ServerConn, conn, completed)
+	}
+	ck.RunProbes()
+
+	return Report{
+		Scenario:   sc,
+		Completed:  completed,
+		Delivered:  conn.Reorder().Delivered,
+		Violations: ck.Violations(),
+		Count:      ck.Count(),
+	}
+}
+
+// scheduleFaults turns the active fault script into simulator events.
+func (h *Harness) scheduleFaults(sc Scenario) {
+	setWiFi := func(down bool) {
+		h.WiFiUp.SetDown(down)
+		h.WiFiDown.SetDown(down)
+	}
+	setCell := func(down bool) {
+		h.CellUp.SetDown(down)
+		h.CellDown.SetDown(down)
+	}
+	for _, f := range sc.ActiveFaults() {
+		f := f
+		switch f.Kind {
+		case FaultWiFiOutage:
+			h.Sim.At(f.At, "fault.wifi-outage", func() { setWiFi(true) })
+			h.Sim.At(f.At+f.Dur, "fault.wifi-restore", func() { setWiFi(false) })
+		case FaultCellOutage:
+			h.Sim.At(f.At, "fault.cell-outage", func() { setCell(true) })
+			h.Sim.At(f.At+f.Dur, "fault.cell-restore", func() { setCell(false) })
+		case FaultBurstLoss:
+			h.Sim.At(f.At, "fault.burst-loss", func() {
+				h.WiFiUp.Loss = netem.BernoulliLoss{P: f.Par}
+				h.WiFiDown.Loss = netem.BernoulliLoss{P: f.Par}
+			})
+			h.Sim.At(f.At+f.Dur, "fault.loss-restore", func() {
+				h.WiFiUp.Loss = netem.BernoulliLoss{P: sc.WiFi.Loss}
+				h.WiFiDown.Loss = netem.BernoulliLoss{P: sc.WiFi.Loss}
+			})
+		case FaultChaosWindow:
+			chaos := &netem.Chaos{
+				DupProb:     f.Par * 0.5,
+				ReorderProb: f.Par,
+				ExtraDelay:  150 * sim.Millisecond,
+			}
+			h.Sim.At(f.At, "fault.chaos", func() {
+				h.WiFiUp.Chaos = chaos
+				h.WiFiDown.Chaos = chaos
+			})
+			h.Sim.At(f.At+f.Dur, "fault.chaos-restore", func() {
+				h.WiFiUp.Chaos = nil
+				h.WiFiDown.Chaos = nil
+			})
+		case FaultRemoveAddr:
+			addr := h.CellAddr
+			if f.Par > 0.3 {
+				addr = h.WiFiAddr
+			}
+			h.Sim.At(f.At, "fault.remove-addr", func() { h.ClientConn.RemoveLocalAddr(addr) })
+		case FaultHandoverStorm:
+			toggles := int(f.Dur/(100*sim.Millisecond)) + 1
+			if toggles > 10 {
+				toggles = 10
+			}
+			for i := 0; i < toggles; i++ {
+				down := i%2 == 0
+				h.Sim.At(f.At+sim.Time(i)*100*sim.Millisecond, "fault.handover", func() { setWiFi(down) })
+			}
+			// Always come back up after the storm.
+			h.Sim.At(f.At+sim.Time(toggles)*100*sim.Millisecond, "fault.handover-end", func() { setWiFi(false) })
+		}
+	}
+}
+
+// Shrink minimizes a violating scenario's fault script: it greedily
+// clears mask bits while the run still reproduces the original
+// violation rule, converging on a minimal fault set (possibly empty —
+// a violation the base scenario triggers on its own). run abstracts
+// RunScenario so tests can thread the bug hook through.
+func Shrink(sc Scenario, run func(Scenario) Report) Scenario {
+	rep := run(sc)
+	if rep.Ok() || len(rep.Violations) == 0 {
+		return sc
+	}
+	rule := rep.Violations[0].Rule
+	reproduces := func(mask uint64) bool {
+		s2 := sc
+		s2.Mask = mask
+		r := run(s2)
+		for _, v := range r.Violations {
+			if v.Rule == rule {
+				return true
+			}
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range sc.Faults {
+			bit := uint64(1) << i
+			if sc.Mask&bit == 0 {
+				continue
+			}
+			if reproduces(sc.Mask &^ bit) {
+				sc.Mask &^= bit
+				changed = true
+			}
+		}
+	}
+	return sc
+}

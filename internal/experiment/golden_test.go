@@ -25,8 +25,16 @@ func TestGoldenSmallFlowsExports(t *testing.T) {
 		t.Fatal(err)
 	}
 
+	// SelfCheck arms the full invariant layer on every run. The exports
+	// must still match the fixtures byte for byte — proof the checker
+	// observes without perturbing — and no run may violate an invariant.
 	for _, workers := range []int{1, 4} {
-		m := SmallFlows(CampaignOpts{Reps: 2, Seed: 42, SampleProfiles: true, Workers: workers})
+		m := SmallFlows(CampaignOpts{Reps: 2, Seed: 42, SampleProfiles: true, Workers: workers, SelfCheck: true})
+
+		if m.TotalViolations != 0 {
+			t.Errorf("workers=%d: %d protocol-invariant violations, first: %s",
+				workers, m.TotalViolations, m.FirstViolation)
+		}
 
 		var csvBuf bytes.Buffer
 		if err := WriteCSV(&csvBuf, m); err != nil {

@@ -87,6 +87,13 @@ type Matrix struct {
 	// the numerator of paperbench's events/sec line. Like the timing
 	// fields it is execution metadata, excluded from exports.
 	TotalEvents uint64
+
+	// TotalViolations sums protocol-invariant violations across all
+	// runs of a SelfCheck campaign (zero otherwise — and zero is the
+	// only acceptable value). FirstViolation describes the earliest
+	// one seen. Execution metadata, excluded from exports.
+	TotalViolations int
+	FirstViolation  string
 }
 
 // MatrixRow is one configuration's cells across the sizes.
@@ -143,6 +150,10 @@ type CampaignOpts struct {
 	// the published EXPERIMENTS.md campaign uses Spread-only
 	// variation; enable for the time-of-day study.
 	Periods bool
+	// SelfCheck arms the protocol-invariant checker on every run of the
+	// campaign (see RunConfig.SelfCheck). Aggregates remain
+	// byte-identical; violation counts land in Matrix.TotalViolations.
+	SelfCheck bool
 	// Progress, if set, is invoked after each completed run with the
 	// count of runs finished so far and the campaign total.
 	//
@@ -217,6 +228,7 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 		cells := make([]*Cell, len(sizes))
 		for ci, size := range sizes {
 			cells[ci] = newCell(rows[ri].Make(size))
+			cells[ci].Config.SelfCheck = cells[ci].Config.SelfCheck || opts.SelfCheck
 			for rep := 0; rep < opts.reps(); rep++ {
 				jobs = append(jobs, matrixJob{ri, ci, rep})
 			}
@@ -257,6 +269,7 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 		for k, j := range jobs {
 			res := runJob(j)
 			m.TotalEvents += res.Events
+			m.absorbViolations(res)
 			m.Rows[j.row].Cells[j.col].absorb(res)
 			if opts.Progress != nil {
 				opts.Progress(k+1, len(jobs))
@@ -293,6 +306,7 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 		wg.Wait()
 		for k, j := range jobs {
 			m.TotalEvents += results[k].Events
+			m.absorbViolations(results[k])
 			m.Rows[j.row].Cells[j.col].absorb(results[k])
 		}
 	}
@@ -300,4 +314,13 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 	m.BusyTime = time.Duration(busy.Load())
 	m.WallTime = time.Since(start)
 	return m
+}
+
+// absorbViolations accumulates a run's self-check findings into the
+// campaign metadata (absorbed in deterministic job order, like cells).
+func (m *Matrix) absorbViolations(res RunResult) {
+	m.TotalViolations += res.Violations
+	if m.FirstViolation == "" {
+		m.FirstViolation = res.FirstViolation
+	}
 }

@@ -4,10 +4,13 @@ import (
 	"fmt"
 
 	"mptcplab/internal/cc"
+	"mptcplab/internal/check"
 	"mptcplab/internal/mptcp"
+	"mptcplab/internal/netem"
 	"mptcplab/internal/seg"
 	"mptcplab/internal/sim"
 	"mptcplab/internal/tcp"
+	"mptcplab/internal/trace"
 	"mptcplab/internal/units"
 	"mptcplab/internal/web"
 )
@@ -67,6 +70,13 @@ type RunConfig struct {
 	// Timeout caps the simulated duration (default 30 virtual
 	// minutes).
 	Timeout sim.Time
+
+	// SelfCheck arms the internal/check invariant layer for this run:
+	// every segment at both hosts is verified online and the stacks are
+	// probed periodically. The run's wire behavior is unchanged — the
+	// checker draws no randomness and mutates nothing — so results stay
+	// byte-identical; violations land in RunResult.Violations.
+	SelfCheck bool
 }
 
 // RunResult aggregates one download's measurements.
@@ -97,6 +107,13 @@ type RunResult struct {
 	// exported in campaign CSV/JSON (it is a property of the simulator,
 	// not of the modeled network).
 	Events uint64
+
+	// Violations counts protocol-invariant breaches detected when the
+	// run was executed with SelfCheck; FirstViolation describes the
+	// earliest one. Like Events they are execution metadata, excluded
+	// from campaign exports.
+	Violations     int
+	FirstViolation string
 }
 
 // CellShare reports the fraction of data bytes the server sent over
@@ -186,16 +203,38 @@ func (tb *Testbed) Run(rc RunConfig) RunResult {
 			tb.WiFiDown.SetDown(false)
 		})
 	}
+	var ck *check.Checker
+	if rc.SelfCheck {
+		ck = check.New(tb.Sim)
+		trace.AttachObserver(tb.Client, ck)
+		trace.AttachObserver(tb.Server, ck)
+		for _, l := range []*netem.Link{tb.WiFiUp, tb.WiFiDown, tb.CellUp, tb.CellDown} {
+			ck.ArmLink(l)
+		}
+		ck.ArmProbes(50 * sim.Millisecond)
+	}
 	switch rc.Transport {
 	case SPWiFi, SPCell:
-		return tb.runSP(rc, timeout)
+		return tb.runSP(rc, timeout, ck)
 	default:
-		return tb.runMP(rc, timeout)
+		return tb.runMP(rc, timeout, ck)
+	}
+}
+
+// finishCheck folds the checker's findings into the result after a run.
+func finishCheck(ck *check.Checker, res *RunResult) {
+	if ck == nil {
+		return
+	}
+	ck.RunProbes()
+	res.Violations = ck.Count()
+	if vs := ck.Violations(); len(vs) > 0 {
+		res.FirstViolation = vs[0].String()
 	}
 }
 
 // runSP performs a single-path TCP download.
-func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time) RunResult {
+func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time, ck *check.Checker) RunResult {
 	cfg := rc.tcpConfig()
 	res := RunResult{Subflows: 1}
 
@@ -205,6 +244,9 @@ func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time) RunResult {
 	lis.OnAccept = func(ep *tcp.Endpoint, syn *seg.Segment) bool {
 		serverEPs = append(serverEPs, ep)
 		tb.attachRTTCollector(ep, &res)
+		if ck != nil {
+			ck.WatchEndpoint("server", ep)
+		}
 		fs.ServeStream(web.TCPStream{EP: ep})
 		return true
 	}
@@ -214,6 +256,9 @@ func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time) RunResult {
 		local = tb.CellAddr
 	}
 	clientEP := tcp.NewEndpoint(tb.Client, tb.Net, local, tb.SrvAddr, cfg, tb.RNG.Child("cli"))
+	if ck != nil {
+		ck.WatchEndpoint("client", clientEP)
+	}
 	getter := web.NewGetter(web.TCPStream{EP: clientEP})
 
 	var done sim.Time = -1
@@ -227,6 +272,7 @@ func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time) RunResult {
 
 	tb.Sim.RunUntil(start + timeout)
 	res.Events = tb.Sim.Processed()
+	finishCheck(ck, &res)
 	if done < 0 {
 		return res
 	}
@@ -239,7 +285,7 @@ func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time) RunResult {
 }
 
 // runMP performs a 2- or 4-path MPTCP download.
-func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time) RunResult {
+func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time, ck *check.Checker) RunResult {
 	cfg := rc.mptcpConfig()
 	res := RunResult{}
 
@@ -252,6 +298,9 @@ func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time) RunResult {
 	srv.OnConn = func(c *mptcp.Conn) {
 		serverConn = c
 		c.OnSubflowUp = func(sf *mptcp.Subflow) { tb.attachRTTCollector(sf.EP, &res) }
+		if ck != nil {
+			ck.WatchConn("server", c)
+		}
 		fs.ServeStream(web.MPTCPStream{Conn: c})
 	}
 
@@ -267,6 +316,9 @@ func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time) RunResult {
 	}
 	start := tb.Sim.Now()
 	conn := mptcp.Dial(tb.Net, tb.Client, opts, tb.RNG.Child("cli"))
+	if ck != nil {
+		ck.WatchConn("client", conn)
+	}
 	conn.OnOFOSample = func(d sim.Time, subflowID int) {
 		res.OFOms = append(res.OFOms, d.Milliseconds())
 	}
@@ -280,6 +332,10 @@ func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time) RunResult {
 
 	tb.Sim.RunUntil(start + timeout)
 	res.Events = tb.Sim.Processed()
+	if ck != nil && serverConn != nil {
+		ck.CheckTransfer("download", serverConn, conn, done >= 0)
+	}
+	finishCheck(ck, &res)
 	if done < 0 {
 		return res
 	}

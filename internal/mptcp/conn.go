@@ -140,6 +140,7 @@ type Conn struct {
 	sndEndData    uint64 // end of application-written data
 	dataFinQueued bool
 	dataAck       uint64 // peer's cumulative data-level ACK
+	peerDataEdge  uint64 // highest data-level right edge (DataAck + shared window) seen; 0 = none yet
 
 	// Receive state.
 	reorder    *ReorderBuffer
@@ -421,6 +422,17 @@ func (c *Conn) pump() {
 		if chunk > space {
 			chunk = space
 		}
+		// Data-level flow control: every subflow advertises the same
+		// shared window, so bounding each subflow individually would let
+		// N subflows overcommit the receiver's buffer N-fold. Clamp the
+		// aggregate to the peer's data-level right edge instead.
+		// peerDataEdge == 0 means no DSS ACK seen yet (handshake); the
+		// subflow window alone governs that first flight.
+		if c.peerDataEdge > 0 {
+			if dspace := int64(c.peerDataEdge) - int64(c.sndNxtData); chunk > dspace {
+				chunk = dspace
+			}
+		}
 		if chunk <= 0 {
 			return
 		}
@@ -628,6 +640,14 @@ func (c *Conn) onSegment(sf *Subflow, s *seg.Segment) {
 	}
 	if d, ok := s.GetDSS(); ok {
 		if d.HasAck {
+			// The shared receive window is relative to the data-level
+			// ACK (RFC 6824 §3.3.1): DataAck plus this segment's window
+			// is the right edge of data the peer can buffer. Track the
+			// maximum edge ever advertised — like sndUna+rwnd at the
+			// subflow level, it never retreats.
+			if edge := d.DataAck + uint64(sf.EP.SegmentWindow(s)); edge > c.peerDataEdge {
+				c.peerDataEdge = edge
+			}
 			c.onDataAck(d.DataAck)
 		}
 		if d.HasMap && s.PayloadLen > 0 {

@@ -9,6 +9,8 @@
 package mptcp
 
 import (
+	"fmt"
+
 	"mptcplab/internal/sim"
 )
 
@@ -26,6 +28,7 @@ type ofoBlock struct {
 // residence time this buffer measures.
 type ReorderBuffer struct {
 	rcvNxt  uint64
+	initial uint64     // first expected data sequence (for accounting checks)
 	blocks  []ofoBlock // sorted by start, non-overlapping
 	scratch []ofoBlock // reused by insertBlock for gap carving
 
@@ -50,7 +53,7 @@ type ReorderBuffer struct {
 // NewReorderBuffer returns an empty buffer expecting data sequence
 // numbers to start at initialSeq.
 func NewReorderBuffer(initialSeq uint64) *ReorderBuffer {
-	return &ReorderBuffer{rcvNxt: initialSeq, perSubflowOFO: make(map[int]int64)}
+	return &ReorderBuffer{rcvNxt: initialSeq, initial: initialSeq, perSubflowOFO: make(map[int]int64)}
 }
 
 // RcvNxt reports the next expected data sequence number.
@@ -180,4 +183,50 @@ func (b *ReorderBuffer) drain(now sim.Time, delivered *int64) {
 		n := copy(b.blocks, b.blocks[i:])
 		b.blocks = b.blocks[:n]
 	}
+}
+
+// CheckInvariants verifies the buffer's structure and accounting: the
+// block list sorted, disjoint, and strictly above rcvNxt; the buffered
+// byte counters exactly matching the stored blocks; and delivered bytes
+// equal to the distance rcvNxt has advanced. It is the invariant
+// checker's observation point into data-level reassembly.
+func (b *ReorderBuffer) CheckInvariants() error {
+	var sum int64
+	prev := b.rcvNxt
+	for i, blk := range b.blocks {
+		if blk.end <= blk.start {
+			return fmt.Errorf("reorder: block %d empty [%d,%d)", i, blk.start, blk.end)
+		}
+		if i == 0 && blk.start <= b.rcvNxt {
+			return fmt.Errorf("reorder: block at %d not above rcvNxt %d", blk.start, b.rcvNxt)
+		}
+		if i > 0 && blk.start < prev {
+			return fmt.Errorf("reorder: block %d [%d,%d) overlaps previous end %d", i, blk.start, blk.end, prev)
+		}
+		prev = blk.end
+		sum += int64(blk.end - blk.start)
+	}
+	if sum != b.Buffered {
+		return fmt.Errorf("reorder: Buffered %d but blocks hold %d bytes", b.Buffered, sum)
+	}
+	if b.MaxBuffered < b.Buffered {
+		return fmt.Errorf("reorder: MaxBuffered %d below Buffered %d", b.MaxBuffered, b.Buffered)
+	}
+	var perSF int64
+	for sf, n := range b.perSubflowOFO {
+		if n < 0 {
+			return fmt.Errorf("reorder: subflow %d OFO bytes negative (%d)", sf, n)
+		}
+		perSF += n
+	}
+	if perSF != b.Buffered {
+		return fmt.Errorf("reorder: per-subflow OFO sums to %d, Buffered is %d", perSF, b.Buffered)
+	}
+	if b.rcvNxt < b.initial {
+		return fmt.Errorf("reorder: rcvNxt %d below initial %d", b.rcvNxt, b.initial)
+	}
+	if got := int64(b.rcvNxt - b.initial); got != b.Delivered {
+		return fmt.Errorf("reorder: Delivered %d but rcvNxt advanced %d", b.Delivered, got)
+	}
+	return nil
 }

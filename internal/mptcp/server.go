@@ -116,7 +116,15 @@ func (s *Server) acceptJoin(ep *tcp.Endpoint, o seg.MPJoinOption, syn *seg.Segme
 	if !ok {
 		// Simultaneous SYNs can race ahead of their MP_CAPABLE sibling:
 		// park the original SYN and replay it through the listener when
-		// the connection appears.
+		// the connection appears. Park each 4-tuple once — a client
+		// stuck in SYN_SENT retransmits the same join, and replaying
+		// both copies would create two server endpoints (with two
+		// different ISSs) for one subflow.
+		for _, hs := range s.pendingJoins[o.Token] {
+			if hs.Src == syn.Src && hs.Dst == syn.Dst {
+				return false
+			}
+		}
 		s.OrphanJoins++
 		s.pendingJoins[o.Token] = append(s.pendingJoins[o.Token], syn.Clone())
 		return false

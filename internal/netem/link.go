@@ -61,6 +61,18 @@ type Link struct {
 	ARQ        *ARQ
 	Radio      *Radio
 
+	// Chaos, when non-nil, injects adversarial behaviours (duplication,
+	// reordering) that deliberately break the link's FIFO contract. It
+	// exists for the invariant fuzzer; nil costs nothing and draws no
+	// randomness, so normal runs are bit-identical with the field absent.
+	Chaos *Chaos
+
+	// OnBadOwnership, when non-nil, is called instead of panicking when
+	// the link detects that an in-flight segment was recycled before its
+	// arrival event fired (a pool use-after-release upstream). The
+	// invariant checker arms this to record the violation.
+	OnBadOwnership func(link string, s *seg.Segment)
+
 	Stats LinkStats
 
 	// down models a connectivity outage (walking out of WiFi range):
@@ -90,11 +102,31 @@ type Link struct {
 }
 
 // arrivalRec is one in-flight packet: popped by the link's arrive
-// callback when its propagation delay elapses.
+// callback when its propagation delay elapses. gen snapshots the
+// segment's pool generation at push so the pop can detect that the
+// segment was recycled while in flight (linear-ownership violation).
+// A nil s is a tombstone: the packet was killed by SetDown mid-flight.
 type arrivalRec struct {
 	s       *seg.Segment
 	ws      units.ByteCount
+	gen     uint32
 	deliver func(*seg.Segment)
+}
+
+// Chaos configures adversarial packet handling on a Link. All
+// probabilities are per-packet; randomness is drawn from the link's own
+// RNG stream only when Chaos is non-nil, so enabling it perturbs no
+// other stream.
+type Chaos struct {
+	// DupProb delivers an extra cloned copy of the packet at its normal
+	// arrival time (the receiver sees the segment twice).
+	DupProb float64
+	// ReorderProb routes the packet around the FIFO rings through its
+	// own closure event with up to ExtraDelay added, so later packets
+	// can overtake it (extreme reordering).
+	ReorderProb float64
+	// ExtraDelay bounds the extra delay given to reordered packets.
+	ExtraDelay sim.Time
 }
 
 // NewLink wires a link to its simulator and RNG stream. Loss and
@@ -114,6 +146,15 @@ func NewLink(s *sim.Simulator, rng *sim.RNG, name string) *Link {
 	}
 	l.onArrive = func() {
 		a := l.arriveQ.pop()
+		if a.s == nil {
+			// Tombstone: SetDown killed this packet mid-flight; it was
+			// counted and released at that moment.
+			return
+		}
+		if a.s.Pooled() || a.s.Gen() != a.gen {
+			l.badOwnership(a.s)
+			return
+		}
 		// An outage that began after this packet was sent still kills
 		// it: frames in the air die with the radio.
 		if l.down {
@@ -144,7 +185,36 @@ func (l *Link) QueueDelay() sim.Time {
 // SetDown starts or ends a connectivity outage: while down, the link
 // drops every packet, as a WiFi NIC out of range would. Used by the
 // mobility/handover scenarios (§6).
-func (l *Link) SetDown(down bool) { l.down = down }
+//
+// Starting an outage also kills packets already in the air: their
+// segments are released to the pool immediately and counted as medium
+// drops, and the already-scheduled arrive events pop tombstoned
+// records. Without this, a segment queued before the outage would be
+// delivered after it began.
+func (l *Link) SetDown(down bool) {
+	if down && !l.down {
+		for i := 0; i < l.arriveQ.len(); i++ {
+			a := l.arriveQ.at(i)
+			if a.s == nil {
+				continue
+			}
+			l.Stats.MediumDrop++
+			l.pool.Put(a.s)
+			a.s = nil
+			a.deliver = nil
+		}
+	}
+	l.down = down
+}
+
+// badOwnership reports a use-after-release detected at arrival.
+func (l *Link) badOwnership(s *seg.Segment) {
+	if l.OnBadOwnership != nil {
+		l.OnBadOwnership(l.Name, s)
+		return
+	}
+	panic("netem: in-flight segment on " + l.Name + " was recycled before arrival (pool use-after-release)")
+}
 
 // IsDown reports whether the link is in an outage.
 func (l *Link) IsDown() bool { return l.down }
@@ -202,8 +272,52 @@ func (l *Link) Send(s *seg.Segment, deliver func(*seg.Segment)) {
 		l.pool.Put(s)
 		return
 	}
-	l.arriveQ.push(arrivalRec{s: s, ws: ws, deliver: deliver})
+	if l.Chaos != nil && l.chaosSend(s, ws, arrival, deliver) {
+		return
+	}
+	l.arriveQ.push(arrivalRec{s: s, ws: ws, gen: s.Gen(), deliver: deliver})
 	l.sim.At(arrival, l.arriveName, l.onArrive)
+}
+
+// chaosSend applies the link's Chaos config to a surviving packet.
+// It returns true when it took over the packet's delivery (the caller
+// must not push it through the FIFO rings). Chaos deliveries run as
+// dedicated closure events because the ring contract requires strictly
+// FIFO firing; these packets deliberately break it. They re-check the
+// outage flag at fire time, but are invisible to the SetDown drain.
+func (l *Link) chaosSend(s *seg.Segment, ws units.ByteCount, arrival sim.Time, deliver func(*seg.Segment)) bool {
+	c := l.Chaos
+	if c.DupProb > 0 && l.rng.Bool(c.DupProb) {
+		dup := s.Clone()
+		l.sim.At(arrival, l.arriveName, func() {
+			if l.down {
+				l.Stats.MediumDrop++
+				l.pool.Put(dup)
+				return
+			}
+			l.Stats.Sent++
+			l.Stats.Bytes += int64(ws)
+			deliver(dup)
+		})
+	}
+	if c.ReorderProb > 0 && l.rng.Bool(c.ReorderProb) {
+		at := arrival
+		if c.ExtraDelay > 0 {
+			at += sim.Time(l.rng.Float64() * float64(c.ExtraDelay))
+		}
+		l.sim.At(at, l.arriveName, func() {
+			if l.down {
+				l.Stats.MediumDrop++
+				l.pool.Put(s)
+				return
+			}
+			l.Stats.Sent++
+			l.Stats.Bytes += int64(ws)
+			deliver(s)
+		})
+		return true
+	}
+	return false
 }
 
 // String describes the link.

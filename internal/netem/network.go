@@ -51,6 +51,7 @@ type Host struct {
 	// port across both its interfaces.
 	listeners map[uint16]Listener
 	taps      []Tap
+	rawTaps   []Tap
 
 	// Unmatched counts segments that matched neither a connection nor
 	// a listener (e.g. late retransmissions after close).
@@ -87,7 +88,17 @@ func (h *Host) Listen(port uint16, l Listener) {
 // AddTap attaches a capture tap to all of the host's traffic.
 func (h *Host) AddTap(t Tap) { h.taps = append(h.taps, t) }
 
+// AddRawTap attaches a zero-copy tap: unlike AddTap, the callback gets
+// the live segment, not a clone, so it costs nothing per packet beyond
+// the call. Raw taps must not mutate the segment or retain it past the
+// callback — it is owned by the network and recycled afterwards. The
+// invariant checker uses raw taps to observe every segment online.
+func (h *Host) AddRawTap(t Tap) { h.rawTaps = append(h.rawTaps, t) }
+
 func (h *Host) tap(dir Direction, s *seg.Segment) {
+	for _, t := range h.rawTaps {
+		t(dir, h.net.sim.Now(), s)
+	}
 	if len(h.taps) == 0 {
 		return
 	}

@@ -45,3 +45,82 @@ func TestOutageDropsNewAndInFlightPackets(t *testing.T) {
 		t.Errorf("delivered %d after recovery, want 1", delivered)
 	}
 }
+
+// A packet queued in the in-flight ring when the outage starts must be
+// pool-released at that moment — not delivered later, even if the
+// outage ends before its scheduled arrival time.
+func TestOutageReleasesQueuedPacketsImmediately(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, sim.NewRNG(1), "l")
+	l.Rate = 1 * units.Gbps
+	l.PropDelay = 50 * sim.Millisecond
+	pool := &seg.Pool{}
+	l.pool = pool
+
+	delivered := 0
+	inflight := pool.Get()
+	inflight.PayloadLen = 100
+	l.Send(inflight, func(*seg.Segment) { delivered++ })
+
+	// Outage begins at 20ms and ends at 30ms — both before the packet's
+	// ~50ms arrival. The packet must still die at 20ms.
+	s.RunUntil(20 * sim.Millisecond)
+	l.SetDown(true)
+	if pool.Size() != 1 {
+		t.Errorf("pool size = %d immediately after SetDown, want 1 (in-flight segment released)", pool.Size())
+	}
+	if l.Stats.MediumDrop != 1 {
+		t.Errorf("MediumDrop = %d after SetDown, want 1", l.Stats.MediumDrop)
+	}
+	s.RunUntil(30 * sim.Millisecond)
+	l.SetDown(false)
+
+	s.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d packets queued before the outage", delivered)
+	}
+	if l.Stats.MediumDrop != 1 {
+		t.Errorf("MediumDrop = %d, want 1 (tombstoned arrival must not double-count)", l.Stats.MediumDrop)
+	}
+
+	// The link stays usable: the recycled segment flows normally.
+	l.Send(pool.Get(), func(s *seg.Segment) { delivered++; pool.Put(s) })
+	s.Run()
+	if delivered != 1 {
+		t.Errorf("delivered %d after recovery, want 1", delivered)
+	}
+}
+
+// A segment recycled while in flight (ownership bug upstream) is caught
+// at arrival via its generation counter.
+func TestInFlightUseAfterReleaseDetected(t *testing.T) {
+	s := sim.New()
+	l := NewLink(s, sim.NewRNG(1), "l")
+	l.Rate = 1 * units.Gbps
+	l.PropDelay = 50 * sim.Millisecond
+	pool := &seg.Pool{}
+	l.pool = pool
+
+	var caught int
+	l.OnBadOwnership = func(link string, _ *seg.Segment) {
+		if link != "l" {
+			t.Errorf("OnBadOwnership link = %q, want l", link)
+		}
+		caught++
+	}
+
+	sg := pool.Get()
+	sg.PayloadLen = 100
+	delivered := 0
+	l.Send(sg, func(*seg.Segment) { delivered++ })
+	// Simulated bug: some other owner releases the in-flight segment.
+	pool.Put(sg)
+
+	s.Run()
+	if caught != 1 {
+		t.Fatalf("ownership violations caught = %d, want 1", caught)
+	}
+	if delivered != 0 {
+		t.Errorf("stale segment was delivered")
+	}
+}

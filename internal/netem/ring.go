@@ -35,6 +35,15 @@ func (r *ring[T]) pop() T {
 
 func (r *ring[T]) len() int { return r.n }
 
+// at returns a pointer to the i-th queued element (0 = head) for
+// in-place inspection or mutation without disturbing FIFO order.
+func (r *ring[T]) at(i int) *T {
+	if i < 0 || i >= r.n {
+		panic("netem: ring index out of range")
+	}
+	return &r.buf[(r.head+i)&(len(r.buf)-1)]
+}
+
 func (r *ring[T]) grow() {
 	size := len(r.buf) * 2
 	if size == 0 {

@@ -54,7 +54,9 @@ func (p *Pool) Put(s *Segment) {
 	}
 	opts := s.Options
 	clear(opts)
-	*s = Segment{Options: opts[:0], pooled: true}
+	// The generation counter survives the reset (incremented): holders
+	// that recorded Gen() at hand-off can detect recycling.
+	*s = Segment{Options: opts[:0], pooled: true, gen: s.gen + 1}
 	p.free = append(p.free, s)
 }
 

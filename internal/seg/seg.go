@@ -105,8 +105,19 @@ type Segment struct {
 	sack    SACKOption
 	sackArr [maxSACKBlocks]SACKBlock
 
-	pooled bool // currently on a Pool free list (double-release guard)
+	pooled bool   // currently on a Pool free list (double-release guard)
+	gen    uint32 // incremented on each Pool.Put; detects stale handles
 }
+
+// Gen reports the segment's pool generation. The counter advances every
+// time the segment is released to a Pool, so a holder that records the
+// generation at hand-off can later detect that the segment it still
+// points to has been recycled into a different packet.
+func (s *Segment) Gen() uint32 { return s.gen }
+
+// Pooled reports whether the segment currently sits on a Pool free
+// list. A true result means any outstanding pointer to it is stale.
+func (s *Segment) Pooled() bool { return s.pooled }
 
 // maxSACKBlocks bounds a segment's inline SACK storage; RFC 2018's
 // 40-byte option budget caps a real header at four blocks anyway.

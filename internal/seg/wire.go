@@ -88,6 +88,9 @@ func Decode(b []byte) (*Segment, error) {
 	if total > len(b) {
 		return nil, fmt.Errorf("seg: IPv4 total length %d exceeds capture %d", total, len(b))
 	}
+	if total < ihl {
+		return nil, fmt.Errorf("seg: IPv4 total length %d shorter than header %d", total, ihl)
+	}
 	if b[9] != protoTCP {
 		return nil, fmt.Errorf("seg: not TCP (protocol %d)", b[9])
 	}

@@ -27,16 +27,22 @@ func Of(xs ...float64) *Sample {
 	return s
 }
 
-// Add appends one observation.
+// Add appends one observation. NaN observations are dropped: a single
+// NaN would poison every downstream statistic and break the sorted
+// order the quantile machinery depends on.
 func (s *Sample) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
 	s.xs = append(s.xs, x)
 	s.sorted = false
 }
 
-// AddAll appends many observations.
+// AddAll appends many observations, dropping NaNs like Add.
 func (s *Sample) AddAll(xs []float64) {
-	s.xs = append(s.xs, xs...)
-	s.sorted = false
+	for _, x := range xs {
+		s.Add(x)
+	}
 }
 
 // N reports the number of observations.

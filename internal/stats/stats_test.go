@@ -167,3 +167,58 @@ func TestAddAllAndValues(t *testing.T) {
 		t.Error("Min after late Add wrong")
 	}
 }
+
+func TestAddDropsNaN(t *testing.T) {
+	s := Of(1, 2, 3)
+	s.Add(math.NaN())
+	if s.N() != 3 {
+		t.Fatalf("NaN was admitted: N = %d", s.N())
+	}
+	s.AddAll([]float64{math.NaN(), 4, math.NaN()})
+	if s.N() != 4 {
+		t.Fatalf("AddAll NaN filtering wrong: N = %d", s.N())
+	}
+	if m := s.Mean(); math.IsNaN(m) || m != 2.5 {
+		t.Errorf("Mean after NaN adds = %v, want 2.5", m)
+	}
+	if q := s.Quantile(0.5); math.IsNaN(q) {
+		t.Error("Quantile poisoned by NaN")
+	}
+}
+
+func TestQuantileEdgeSizes(t *testing.T) {
+	// Zero elements: every statistic is zero, no panic.
+	e := New()
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		if got := e.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v", q, got)
+		}
+	}
+	if b := e.BoxSummary(); b.N != 0 || b.Min != 0 || b.Max != 0 {
+		t.Errorf("empty BoxSummary = %+v", b)
+	}
+	// One element: every quantile is that element.
+	s := Of(7)
+	for _, q := range []float64{0, 0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != 7 {
+			t.Errorf("singleton Quantile(%v) = %v, want 7", q, got)
+		}
+	}
+	// Two elements interpolate linearly.
+	s2 := Of(10, 20)
+	if got := s2.Quantile(0.5); got != 15 {
+		t.Errorf("two-element median = %v, want 15", got)
+	}
+	if got := s2.Quantile(0.25); got != 12.5 {
+		t.Errorf("two-element Q1 = %v, want 12.5", got)
+	}
+}
+
+func TestVarSingleton(t *testing.T) {
+	if v := Of(5).Var(); v != 0 {
+		t.Errorf("singleton Var = %v", v)
+	}
+	if sd := Of(5).Stddev(); sd != 0 {
+		t.Errorf("singleton Stddev = %v", sd)
+	}
+}

@@ -112,8 +112,27 @@ func (e *Endpoint) handleSynOptions(s *seg.Segment) {
 	}
 }
 
+// SegmentWindow reports the receive window a segment advertises, in
+// bytes after descaling — the value updatePeerWindow would adopt. It
+// lets connection-level flow control (MPTCP's shared window is
+// relative to the data ACK, not the subflow ACK) read a window from
+// the same segment that carried the data-level signaling.
+func (e *Endpoint) SegmentWindow(s *seg.Segment) int64 {
+	w := int64(s.Window)
+	if !s.Flags.Has(seg.SYN) {
+		w <<= e.peerShift
+	}
+	return w
+}
+
 // updatePeerWindow refreshes our notion of the peer's receive window.
 func (e *Endpoint) updatePeerWindow(s *seg.Segment) {
+	// RFC 793 window-update rule (simplified): a segment acknowledging
+	// less than we already have acknowledged is stale — under
+	// reordering its window must not overwrite a newer advertisement.
+	if s.Flags.Has(seg.ACK) && seg.SeqLT(s.Ack, e.sndUna) {
+		return
+	}
 	w := int64(s.Window)
 	if !s.Flags.Has(seg.SYN) {
 		w <<= e.peerShift

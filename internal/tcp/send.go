@@ -96,7 +96,12 @@ func (e *Endpoint) trySend() {
 	if e.finQueued {
 		dataEnd = e.finSeq
 	}
-	for seg.SeqLT(e.sndNxt, dataEnd) && e.pipe() < wnd {
+	// Sequence-space bound: sndNxt must never pass the advertised right
+	// edge (una + rwnd). The pipe gate alone cannot guarantee that —
+	// pipe() discounts SACKed data, so under heavy SACK it would let
+	// fresh data slip beyond what the peer offered.
+	seqSpace := e.rwnd - int64(e.sndNxt-e.sndUna)
+	for seg.SeqLT(e.sndNxt, dataEnd) && e.pipe() < wnd && seqSpace > 0 {
 		n := int64(dataEnd - e.sndNxt)
 		if n > int64(e.cfg.MSS) {
 			n = int64(e.cfg.MSS)
@@ -108,6 +113,9 @@ func (e *Endpoint) trySend() {
 				break
 			}
 			n = avail
+		}
+		if n > seqSpace {
+			n = seqSpace
 		}
 		if n <= 0 {
 			break
@@ -122,6 +130,7 @@ func (e *Endpoint) trySend() {
 		// outstanding even for a lone segment.
 		start := e.sndNxt
 		e.sndNxt += uint32(n)
+		seqSpace -= n
 		e.emitData(start, int(n), false)
 	}
 	// FIN once all data is out.

@@ -1,0 +1,25 @@
+package trace
+
+import (
+	"mptcplab/internal/netem"
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+)
+
+// SegmentObserver consumes live segments at a host's interfaces. It is
+// the hook the invariant checker (internal/check) plugs into: unlike a
+// capture Tap, the observer sees the segment the network owns — no
+// clone, no allocation — and therefore must neither mutate it nor
+// retain it past the call.
+type SegmentObserver interface {
+	OnSegment(host string, dir netem.Direction, at sim.Time, s *seg.Segment)
+}
+
+// AttachObserver wires obs to all of the host's traffic through a raw
+// tap. Multiple observers (and regular capture taps) compose freely.
+func AttachObserver(h *netem.Host, obs SegmentObserver) {
+	name := h.Name
+	h.AddRawTap(func(dir netem.Direction, at sim.Time, s *seg.Segment) {
+		obs.OnSegment(name, dir, at, s)
+	})
+}

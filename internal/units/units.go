@@ -4,6 +4,9 @@ package units
 
 import (
 	"fmt"
+	"math"
+	"strconv"
+	"strings"
 
 	"mptcplab/internal/sim"
 )
@@ -36,6 +39,28 @@ func (b ByteCount) String() string {
 	}
 }
 
+// ParseByteCount parses the formats ByteCount.String produces —
+// "512B", "8KB", "1.5MB", "2GB" — plus a bare number, which means
+// bytes. Units are binary (KB = 1024), matching the constants above.
+func ParseByteCount(s string) (ByteCount, error) {
+	num, mult := s, int64(1)
+	switch {
+	case strings.HasSuffix(s, "GB"):
+		num, mult = s[:len(s)-2], GB
+	case strings.HasSuffix(s, "MB"):
+		num, mult = s[:len(s)-2], MB
+	case strings.HasSuffix(s, "KB"):
+		num, mult = s[:len(s)-2], KB
+	case strings.HasSuffix(s, "B"):
+		num = s[:len(s)-1]
+	}
+	v, err := parseScaled(num, mult)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad byte count %q: %v", s, err)
+	}
+	return ByteCount(v), nil
+}
+
 // BitRate is a link speed in bits per second.
 type BitRate int64
 
@@ -58,6 +83,48 @@ func (r BitRate) String() string {
 	default:
 		return fmt.Sprintf("%dbps", int64(r))
 	}
+}
+
+// ParseBitRate parses the formats BitRate.String produces — "1Gbps",
+// "25Mbps", "600Kbps", "1234bps" — plus a bare number, which means
+// bits per second. Units are decimal (Kbps = 1000), matching the
+// constants above.
+func ParseBitRate(s string) (BitRate, error) {
+	num, mult := s, int64(1)
+	switch {
+	case strings.HasSuffix(s, "Gbps"):
+		num, mult = s[:len(s)-4], int64(Gbps)
+	case strings.HasSuffix(s, "Mbps"):
+		num, mult = s[:len(s)-4], int64(Mbps)
+	case strings.HasSuffix(s, "Kbps"):
+		num, mult = s[:len(s)-4], int64(Kbps)
+	case strings.HasSuffix(s, "bps"):
+		num = s[:len(s)-3]
+	}
+	v, err := parseScaled(num, mult)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad bit rate %q: %v", s, err)
+	}
+	return BitRate(v), nil
+}
+
+// parseScaled parses num (integer or decimal) times mult, exactly for
+// integers and rounded to the nearest unit for fractions like "1.5".
+func parseScaled(num string, mult int64) (int64, error) {
+	if num == "" {
+		return 0, fmt.Errorf("empty number")
+	}
+	if i, err := strconv.ParseInt(num, 10, 64); err == nil {
+		return i * mult, nil
+	}
+	f, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, fmt.Errorf("not finite")
+	}
+	return int64(math.Round(f * float64(mult))), nil
 }
 
 // TransmitTime reports how long a link at rate r takes to serialize n

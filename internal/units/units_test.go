@@ -91,3 +91,110 @@ func TestRateRoundTripProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestParseByteCount(t *testing.T) {
+	cases := []struct {
+		in   string
+		want ByteCount
+	}{
+		{"512B", 512},
+		{"8KB", 8 * KB},
+		{"1.5KB", 1536},
+		{"4MB", 4 * MB},
+		{"1.5MB", 3 * MB / 2},
+		{"2GB", 2 * GB},
+		{"1234", 1234}, // bare bytes
+		{"0B", 0},
+	}
+	for _, c := range cases {
+		got, err := ParseByteCount(c.in)
+		if err != nil {
+			t.Errorf("ParseByteCount(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseByteCount(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "KB", "xMB", "1.2.3KB", "NaNMB", "InfGB"} {
+		if v, err := ParseByteCount(bad); err == nil {
+			t.Errorf("ParseByteCount(%q) = %d, want error", bad, v)
+		}
+	}
+}
+
+func TestParseBitRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want BitRate
+	}{
+		{"25Mbps", 25 * Mbps},
+		{"1Gbps", Gbps},
+		{"600Kbps", 600 * Kbps},
+		{"1234bps", 1234},
+		{"2.5Mbps", 2_500_000},
+		{"42", 42}, // bare bps
+	}
+	for _, c := range cases {
+		got, err := ParseBitRate(c.in)
+		if err != nil {
+			t.Errorf("ParseBitRate(%q): %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBitRate(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "bps", "fastMbps", "1..0Gbps"} {
+		if v, err := ParseBitRate(bad); err == nil {
+			t.Errorf("ParseBitRate(%q) = %d, want error", bad, v)
+		}
+	}
+}
+
+// Every value String renders as an exact unit multiple must parse back
+// to itself.
+func TestByteCountStringParseRoundTrip(t *testing.T) {
+	f := func(mb uint16, small uint8) bool {
+		for _, b := range []ByteCount{
+			ByteCount(mb) * MB,    // renders "NMB" or "NGB"
+			ByteCount(small),      // renders "NB"
+			ByteCount(small) * KB, // renders "NKB" (stays below 1MB)
+		} {
+			got, err := ParseByteCount(b.String())
+			if err != nil || got != b {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Fractional renderings round-trip to within the printed precision
+	// (String keeps one decimal).
+	for _, b := range []ByteCount{1536, 2500, 3 * MB / 2, 5*MB + 123*KB} {
+		got, err := ParseByteCount(b.String())
+		if err != nil {
+			t.Fatalf("ParseByteCount(%q): %v", b.String(), err)
+		}
+		tol := ByteCount(MB / 10)
+		if b < MB {
+			tol = KB / 10
+		}
+		if diff := got - b; diff > tol || diff < -tol {
+			t.Errorf("round trip %q: got %d, want %d±%d", b.String(), got, b, tol)
+		}
+	}
+}
+
+func TestBitRateStringParseRoundTrip(t *testing.T) {
+	f := func(kbps uint16) bool {
+		r := BitRate(kbps) * Kbps
+		got, err := ParseBitRate(r.String())
+		return err == nil && got == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
