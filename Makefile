@@ -4,7 +4,7 @@ SHA := $(shell git rev-parse --short HEAD)
 # Benchmarks archived per commit and gated on allocs/op by benchjson.
 GATED_BENCHES := BenchmarkSimEventLoop|BenchmarkSegEncodeDecode|BenchmarkSingleDownload4MB|BenchmarkTCPSingle4MB
 
-.PHONY: all build test race vet bench fuzz-smoke cover
+.PHONY: all build test race vet bench fuzz-smoke cover loadsmoke
 
 all: vet build test
 
@@ -36,6 +36,21 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSegDecode$$' -fuzztime $(FUZZTIME) ./internal/seg/
 	$(GO) test -run '^$$' -fuzz '^FuzzReorderInsert$$' -fuzztime $(FUZZTIME) ./internal/mptcp/
 	$(GO) run ./cmd/mptcpfuzz -n 200 -seed 1
+
+# loadsmoke proves the fleet engine's determinism contract end to end:
+# the same sweep, run serially and with a worker pool, must produce
+# byte-identical CSV and JSON exports, with the invariant checker armed
+# on every run (mptcpload exits non-zero on any violation).
+LOADFLAGS := -clients 60 -rates 3,10 -duration 15s -drain 15s -reps 2 -seed 42 -transport 'wifi=0.3,cell=0.2,mptcp=0.5'
+loadsmoke:
+	$(GO) run ./cmd/mptcpload $(LOADFLAGS) -workers 1 -o loadsmoke_w1.csv
+	$(GO) run ./cmd/mptcpload $(LOADFLAGS) -workers 8 -o loadsmoke_w8.csv
+	$(GO) run ./cmd/mptcpload $(LOADFLAGS) -workers 1 -format json -o loadsmoke_w1.json
+	$(GO) run ./cmd/mptcpload $(LOADFLAGS) -workers 8 -format json -o loadsmoke_w8.json
+	cmp loadsmoke_w1.csv loadsmoke_w8.csv
+	cmp loadsmoke_w1.json loadsmoke_w8.json
+	@echo "loadsmoke: exports byte-identical across worker counts, zero violations"
+	@rm -f loadsmoke_w1.csv loadsmoke_w8.csv loadsmoke_w1.json loadsmoke_w8.json
 
 # cover enforces the statement-coverage floor (baseline 72.7% when the
 # gate landed; the floor leaves a little slack for counter drift).

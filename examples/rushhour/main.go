@@ -1,0 +1,65 @@
+// Rushhour pushes the coffee-shop scenario to fleet scale: 200 phones
+// behind ONE access point, each firing small web-style downloads at an
+// increasing arrival rate. At low load the AP absorbs everything and
+// single-path WiFi looks fine; as the offered load climbs past the
+// AP's capacity, WiFi-only tail latency explodes while MPTCP drains
+// the overflow onto cellular, keeping the p99 flow-completion time
+// bounded. This is the fleet analogue of §4.1's background-traffic
+// finding: the benefit of a second path shows up first in the tail.
+package main
+
+import (
+	"fmt"
+
+	"mptcplab/internal/load"
+	"mptcplab/internal/pathmodel"
+	"mptcplab/internal/sim"
+)
+
+func main() {
+	fmt.Println("rush hour: 200 clients on one coffee-shop AP, small-flow mix")
+	fmt.Println()
+
+	transports := []struct {
+		name string
+		mix  load.TransportMix
+	}{
+		{"wifi-only", load.TransportMix{WiFi: 1}},
+		{"mptcp", load.TransportMix{MPTCP: 1}},
+	}
+
+	fmt.Printf("%-12s %8s %10s %10s %10s %9s %8s\n",
+		"transport", "rate/s", "fct p50", "fct p99", "ap-down", "cell", "done")
+	for _, rate := range []float64{2, 8, 20} {
+		for _, tr := range transports {
+			res := load.Run(load.Config{
+				Clients:    200,
+				Rate:       rate,
+				Sizes:      load.SmallFlowMix(),
+				Transports: tr.mix,
+				WiFi:       pathmodel.CoffeeShop(),
+				Cell:       pathmodel.ATT(),
+				Duration:   60 * sim.Second,
+				Drain:      60 * sim.Second,
+				Seed:       42,
+				SelfCheck:  true,
+			})
+			if res.Violations > 0 {
+				fmt.Printf("PROTOCOL VIOLATIONS: %d, first: %s\n",
+					res.Violations, res.FirstViolation)
+			}
+			var apDown float64
+			for _, l := range res.Links {
+				if l.Name == "ap-down" {
+					apDown = l.Utilization
+				}
+			}
+			fmt.Printf("%-12s %8.0f %9.3fs %9.3fs %9.0f%% %8.0f%% %4d/%d\n",
+				tr.name, rate, res.FCTp50.Value(), res.FCTp99.Value(),
+				apDown*100, res.CellShare()*100, res.Completed, res.Offered)
+		}
+		fmt.Println()
+	}
+	fmt.Println("As the AP saturates, WiFi-only p99 balloons; MPTCP sheds the")
+	fmt.Println("overflow onto cellular and keeps the tail an order of magnitude lower.")
+}

@@ -403,12 +403,24 @@ func (c *Checker) WatchConn(name string, conn *mptcp.Conn) {
 }
 
 // RunProbes runs every registered probe once, recording failures.
+// Watchers whose stacks have fully closed are dropped after this final
+// probe: a fleet run watches thousands of short flows, and without
+// pruning every probe tick would keep re-checking long-dead endpoints,
+// making the tick cost O(total flows) instead of O(active flows).
 func (c *Checker) RunProbes() {
+	live := c.watchers[:0]
 	for _, w := range c.watchers {
 		if err := w.probe(); err != nil {
 			c.violatef("state", "%s: %v", w.name, err)
 		}
+		if w.active() {
+			live = append(live, w)
+		}
 	}
+	for i := len(live); i < len(c.watchers); i++ {
+		c.watchers[i] = watcher{} // release closed stacks to the GC
+	}
+	c.watchers = live
 }
 
 func (c *Checker) anyActive() bool {

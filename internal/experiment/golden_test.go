@@ -7,11 +7,11 @@ import (
 	"testing"
 )
 
-// TestGoldenSmallFlowsExports pins the campaign exports to fixtures
-// generated before the pooled hot path landed: the optimization must
-// not change a single exported byte, for any worker count. This is the
-// determinism contract of the whole PR — pooling recycles memory, not
-// results.
+// TestGoldenSmallFlowsExports pins the campaign exports byte-for-byte,
+// for any worker count: parallelism schedules work, it must not change
+// results, and the armed checker must observe without perturbing. The
+// fixtures change only when protocol behavior intentionally changes:
+// regenerate by writing these same campaign exports to testdata/.
 func TestGoldenSmallFlowsExports(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full SmallFlows campaigns")

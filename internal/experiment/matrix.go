@@ -180,26 +180,16 @@ func (o CampaignOpts) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// splitmix64 is the 64-bit finalizer of the SplitMix generator
-// (Steele, Lea & Flood 2014): a bijection on uint64 with full
-// avalanche, so distinct inputs always produce distinct outputs.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
-
 // jobSeed derives the testbed seed for one (row, col, rep) run of a
 // campaign. The indices are packed into disjoint 21-bit fields and
-// passed through the splitmix64 bijection, so every job of every grid
-// up to 2^21 rows x columns x repetitions gets a distinct seed. (The
-// previous additive mix, Seed + row*1_000_003 + col*7919 + rep*104729,
-// collided whenever two index combinations hit the same linear sum —
-// e.g. 7919 reps ≡ one column step.)
+// passed through the sim.Splitmix64 bijection, so every job of every
+// grid up to 2^21 rows x columns x repetitions gets a distinct seed.
+// (The previous additive mix, Seed + row*1_000_003 + col*7919 +
+// rep*104729, collided whenever two index combinations hit the same
+// linear sum — e.g. 7919 reps ≡ one column step.)
 func jobSeed(campaign int64, row, col, rep int) int64 {
 	packed := uint64(row)<<42 | uint64(col)<<21 | uint64(rep)
-	return int64(splitmix64(splitmix64(uint64(campaign)) ^ packed))
+	return int64(sim.Splitmix64(sim.Splitmix64(uint64(campaign)) ^ packed))
 }
 
 // matrixJob identifies one run: indices into the row, size, and

@@ -1,0 +1,169 @@
+package load
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// RunExport is the machine-readable summary of one fleet run. Exports
+// are a pure function of the sweep seed: no wall-clock or scheduling
+// metadata appears, so equal seeds give byte-identical files for any
+// worker count.
+type RunExport struct {
+	Rate    float64 `json:"rate_flows_per_s"`
+	Clients int     `json:"clients"`
+	Rep     int     `json:"rep"`
+	Seed    int64   `json:"seed"`
+	Replay  string  `json:"replay"`
+
+	Offered    int `json:"offered"`
+	Completed  int `json:"completed"`
+	Incomplete int `json:"incomplete"`
+
+	FCTMean float64 `json:"fct_s_mean"`
+	FCTP50  float64 `json:"fct_s_p50"`
+	FCTP90  float64 `json:"fct_s_p90"`
+	FCTP99  float64 `json:"fct_s_p99"`
+	FCTMax  float64 `json:"fct_s_max"`
+
+	SmallP50 float64 `json:"fct_small_s_p50"`
+	LargeP50 float64 `json:"fct_large_s_p50"`
+
+	GoodputMean float64 `json:"goodput_bps_mean"`
+	Jain        float64 `json:"jain"`
+	CellShare   float64 `json:"cell_share"`
+
+	APDownUtil   float64 `json:"ap_down_util"`
+	CellDownUtil float64 `json:"cell_down_util"`
+	APDownQDrop  uint64  `json:"ap_down_qdrop"`
+	CellDownDrop uint64  `json:"cell_down_qdrop"`
+
+	WiFiRetransPct float64 `json:"wifi_retrans_pct"`
+	CellRetransPct float64 `json:"cell_retrans_pct"`
+
+	Violations int `json:"violations"`
+}
+
+// exportRun flattens one run. The replay token re-derives the exact
+// per-run Config so any row can be re-executed standalone.
+func exportRun(p SweepPoint, rep int, res *Result, token string) RunExport {
+	e := RunExport{
+		Rate: p.Rate, Clients: p.Clients, Rep: rep,
+		Seed: res.Seed, Replay: token,
+		Offered: res.Offered, Completed: res.Completed, Incomplete: res.Incomplete,
+		FCTMean:     res.FCT.Mean(),
+		FCTP50:      res.FCT.Quantile(0.50),
+		FCTP90:      res.FCT.Quantile(0.90),
+		FCTP99:      res.FCT.Quantile(0.99),
+		FCTMax:      res.FCT.Max(),
+		GoodputMean: res.Goodput.Mean(),
+		Jain:        res.Goodput.Jain(),
+		CellShare:   res.CellShare(),
+		Violations:  res.Violations,
+	}
+	if res.FCTSmall.N() > 0 {
+		e.SmallP50 = res.FCTSmall.Quantile(0.5)
+	}
+	if res.FCTLarge.N() > 0 {
+		e.LargeP50 = res.FCTLarge.Quantile(0.5)
+	}
+	for _, l := range res.Links {
+		switch l.Name {
+		case "ap-down", "wifi-down":
+			e.APDownUtil = l.Utilization
+			e.APDownQDrop = l.QueueDrop
+		case "cell-down":
+			e.CellDownUtil = l.Utilization
+			e.CellDownDrop = l.QueueDrop
+		}
+	}
+	if res.WiFiPkts > 0 {
+		e.WiFiRetransPct = 100 * float64(res.WiFiRetransPkts) / float64(res.WiFiPkts)
+	}
+	if res.CellPkts > 0 {
+		e.CellRetransPct = 100 * float64(res.CellRetransPkts) / float64(res.CellPkts)
+	}
+	return e
+}
+
+// Export flattens a sweep into one record per run, in grid order.
+func (sw *Sweep) Export(base Config) []RunExport {
+	var out []RunExport
+	for _, p := range sw.Points {
+		for rep, res := range p.Runs {
+			if res == nil {
+				continue
+			}
+			cfg := base
+			if p.Rate > 0 {
+				cfg.Rate = p.Rate
+				cfg.Flows = 0
+			}
+			if p.Clients > 0 {
+				cfg.Clients = p.Clients
+			}
+			cfg.Seed = res.Seed
+			out = append(out, exportRun(p, rep, res, cfg.ReplayToken()))
+		}
+	}
+	return out
+}
+
+// WriteJSON emits the sweep as a JSON array of run records.
+func (sw *Sweep) WriteJSON(w io.Writer, base Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sw.Export(base))
+}
+
+// csvHeader lists the exported columns, in order.
+var csvHeader = []string{
+	"rate_flows_per_s", "clients", "rep", "seed",
+	"offered", "completed", "incomplete",
+	"fct_s_mean", "fct_s_p50", "fct_s_p90", "fct_s_p99", "fct_s_max",
+	"fct_small_s_p50", "fct_large_s_p50",
+	"goodput_bps_mean", "jain", "cell_share",
+	"ap_down_util", "cell_down_util", "ap_down_qdrop", "cell_down_qdrop",
+	"wifi_retrans_pct", "cell_retrans_pct", "violations", "replay",
+}
+
+// WriteCSV emits the sweep as CSV with a header row.
+func (sw *Sweep) WriteCSV(w io.Writer, base Config) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, e := range sw.Export(base) {
+		rec := []string{
+			f(e.Rate), strconv.Itoa(e.Clients), strconv.Itoa(e.Rep),
+			strconv.FormatInt(e.Seed, 10),
+			strconv.Itoa(e.Offered), strconv.Itoa(e.Completed), strconv.Itoa(e.Incomplete),
+			f(e.FCTMean), f(e.FCTP50), f(e.FCTP90), f(e.FCTP99), f(e.FCTMax),
+			f(e.SmallP50), f(e.LargeP50),
+			f(e.GoodputMean), f(e.Jain), f(e.CellShare),
+			f(e.APDownUtil), f(e.CellDownUtil),
+			strconv.FormatUint(e.APDownQDrop, 10), strconv.FormatUint(e.CellDownDrop, 10),
+			f(e.WiFiRetransPct), f(e.CellRetransPct),
+			strconv.Itoa(e.Violations), e.Replay,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Describe summarizes the sweep shape for progress output.
+func (sw *Sweep) Describe() string {
+	reps := 0
+	if len(sw.Points) > 0 {
+		reps = len(sw.Points[0].Runs)
+	}
+	return fmt.Sprintf("load sweep: %d points (%d rates) x %d reps",
+		len(sw.Points), len(sw.sortedRates()), reps)
+}

@@ -1,0 +1,182 @@
+package load
+
+import (
+	"strings"
+	"testing"
+
+	"mptcplab/internal/sim"
+	"mptcplab/internal/units"
+)
+
+// TestReplayTokenRoundTrip: ParseReplay must invert ReplayToken for
+// every workload shape — a token that cannot rebuild its config would
+// make exported rows unreproducible.
+func TestReplayTokenRoundTrip(t *testing.T) {
+	configs := []Config{
+		{}, // all defaults
+		{Clients: 200, Rate: 8, Seed: 42},
+		{Clients: 50, Flows: 500, Seed: -3, Controller: "olia", Scheduler: "round-robin"},
+		{Sessions: 30, ThinkMean: 5 * sim.Second, SampleProfiles: true, SelfCheck: true},
+		{
+			Clients: 10, Rate: 0.5, Duration: 15 * sim.Second, Drain: 5 * sim.Second,
+			Sizes:      FixedSize(64 * units.KB),
+			Transports: TransportMix{WiFi: 0.25, Cell: 0.25, MPTCP: 0.5},
+			Background: Background{WiFiDown: 8 * units.Mbps, CellUp: 256 * units.Kbps},
+		},
+	}
+	for _, cfg := range configs {
+		tok := cfg.ReplayToken()
+		back, err := ParseReplay(tok)
+		if err != nil {
+			t.Fatalf("ParseReplay(%q): %v", tok, err)
+		}
+		if got := back.ReplayToken(); got != tok {
+			t.Errorf("token round trip changed:\n  orig  %s\n  again %s", tok, got)
+		}
+	}
+	if _, err := ParseReplay("clients=10,bogus"); err == nil {
+		t.Error("ParseReplay accepted a part with no '='")
+	}
+	if _, err := ParseReplay("wat=1"); err == nil {
+		t.Error("ParseReplay accepted an unknown key")
+	}
+}
+
+// TestReplayReproducesSweepRow: the token exported with a sweep row
+// must re-execute to that row's exact numbers — the whole point of
+// carrying it.
+func TestReplayReproducesSweepRow(t *testing.T) {
+	base := Config{
+		Clients:   10,
+		Duration:  5 * sim.Second,
+		Drain:     10 * sim.Second,
+		SelfCheck: true,
+	}
+	sw := RunSweep(SweepOpts{Base: base, Rates: []float64{3}, Reps: 1, Seed: 11})
+	rows := sw.Export(base)
+	if len(rows) != 1 {
+		t.Fatalf("exported %d rows, want 1", len(rows))
+	}
+	row := rows[0]
+
+	cfg, err := ParseReplay(row.Replay)
+	if err != nil {
+		t.Fatalf("ParseReplay(%q): %v", row.Replay, err)
+	}
+	res := Run(cfg)
+	if res.Offered != row.Offered || res.Completed != row.Completed {
+		t.Errorf("replay offered/completed %d/%d, row had %d/%d",
+			res.Offered, res.Completed, row.Offered, row.Completed)
+	}
+	if got := res.FCT.Mean(); got != row.FCTMean {
+		t.Errorf("replay FCT mean %v, row had %v", got, row.FCTMean)
+	}
+	if got := res.Goodput.Mean(); got != row.GoodputMean {
+		t.Errorf("replay goodput mean %v, row had %v", got, row.GoodputMean)
+	}
+}
+
+// TestParseSizeDist covers the named mixes, fixed sizes, and rejects.
+func TestParseSizeDist(t *testing.T) {
+	for spec, name := range map[string]string{
+		"small": "small", "web": "web", "heavy": "heavy", "64KB": "64KB",
+	} {
+		d, err := ParseSizeDist(spec)
+		if err != nil {
+			t.Fatalf("ParseSizeDist(%q): %v", spec, err)
+		}
+		if d.Name() != name {
+			t.Errorf("ParseSizeDist(%q).Name() = %q, want %q", spec, d.Name(), name)
+		}
+	}
+	if _, err := ParseSizeDist("enormous"); err == nil {
+		t.Error("ParseSizeDist accepted an unknown name")
+	}
+
+	// Every distribution must sample inside its declared support.
+	rng := sim.NewRNG(3)
+	for _, d := range []SizeDist{SmallFlowMix(), WebMix(), HeavyTail(), FixedSize(units.MB)} {
+		lo, hi := units.ByteCount(1), units.ByteCount(1)<<40
+		if p, ok := d.(BoundedPareto); ok {
+			lo, hi = p.Lo, p.Hi
+		}
+		for i := 0; i < 2000; i++ {
+			if s := d.Sample(rng); s < lo || s > hi {
+				t.Fatalf("%s sampled %d outside [%d,%d]", d.Name(), s, lo, hi)
+			}
+		}
+	}
+
+	// The heavy tail must actually be heavy: with alpha close to 1, a
+	// few thousand draws should span several orders of magnitude.
+	h := HeavyTail()
+	var minS, maxS units.ByteCount = 1 << 62, 0
+	for i := 0; i < 5000; i++ {
+		s := h.Sample(rng)
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS < 1000*minS {
+		t.Errorf("heavy tail spanned only %d..%d; expected orders of magnitude", minS, maxS)
+	}
+}
+
+// TestParseTransportMix covers named stacks, weighted lists, rejects,
+// and the String inverse.
+func TestParseTransportMix(t *testing.T) {
+	cases := map[string]TransportMix{
+		"mptcp":                       {MPTCP: 1},
+		"":                            {MPTCP: 1},
+		"tcp-wifi":                    {WiFi: 1},
+		"cell":                        {Cell: 1},
+		"wifi=0.3,cell=0.2,mptcp=0.5": {WiFi: 0.3, Cell: 0.2, MPTCP: 0.5},
+	}
+	for spec, want := range cases {
+		m, err := ParseTransportMix(spec)
+		if err != nil {
+			t.Fatalf("ParseTransportMix(%q): %v", spec, err)
+		}
+		if m != want {
+			t.Errorf("ParseTransportMix(%q) = %+v, want %+v", spec, m, want)
+		}
+	}
+	for _, bad := range []string{"wifi=x", "train=1", "wifi=0,cell=0,mptcp=0", "justwifi"} {
+		if _, err := ParseTransportMix(bad); err == nil {
+			t.Errorf("ParseTransportMix(%q) accepted", bad)
+		}
+	}
+	// String renders a spec ParseTransportMix maps back to the same mix.
+	mixed := TransportMix{WiFi: 0.25, Cell: 0.25, MPTCP: 0.5}
+	back, err := ParseTransportMix(mixed.String())
+	if err != nil || back != mixed {
+		t.Errorf("String round trip: %q -> %+v, %v", mixed.String(), back, err)
+	}
+	if s := (TransportMix{MPTCP: 1}).String(); s != "mptcp" {
+		t.Errorf("all-MPTCP String() = %q", s)
+	}
+	for tr, want := range map[FlowTransport]string{
+		FlowTCPWiFi: "tcp-wifi", FlowTCPCell: "tcp-cell", FlowMPTCP: "mptcp",
+	} {
+		if tr.String() != want {
+			t.Errorf("FlowTransport(%d).String() = %q, want %q", tr, tr.String(), want)
+		}
+	}
+}
+
+// TestSweepDescribe pins the one-line shape summary.
+func TestSweepDescribe(t *testing.T) {
+	sw := RunSweep(SweepOpts{
+		Base:  Config{Clients: 5, Duration: sim.Second, Drain: 2 * sim.Second},
+		Rates: []float64{1, 2},
+		Reps:  2,
+		Seed:  1,
+	})
+	want := "load sweep: 2 points (2 rates) x 2 reps"
+	if got := sw.Describe(); !strings.HasPrefix(got, want) {
+		t.Errorf("Describe() = %q, want prefix %q", got, want)
+	}
+}

@@ -1,0 +1,309 @@
+package load
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"mptcplab/internal/sim"
+	"mptcplab/internal/units"
+)
+
+// SweepOpts describes a load-vs-FCT campaign: a grid of (arrival rate
+// x fleet size) points, each repeated Reps times with independent
+// deterministic seeds. The Base config supplies everything the grid
+// axes don't override.
+type SweepOpts struct {
+	Base Config
+
+	// Rates are the open-loop arrival rates swept (flows per simulated
+	// second); empty means just Base's own rate/flow settings.
+	Rates []float64
+	// Clients are the fleet sizes swept; empty means just Base.Clients.
+	Clients []int
+
+	// Reps per grid point (default 1).
+	Reps int
+	// Seed drives the whole sweep; per-run seeds derive from it.
+	Seed int64
+	// Workers sizes the run pool: 0 = GOMAXPROCS, 1 = serial. Exports
+	// are byte-identical for every worker count.
+	Workers int
+	// Progress, if set, is called after each finished run. Calls are
+	// serialized; only done increasing 1..total is guaranteed.
+	Progress func(done, total int)
+}
+
+func (o SweepOpts) reps() int {
+	if o.Reps <= 0 {
+		return 1
+	}
+	return o.Reps
+}
+
+func (o SweepOpts) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// SweepPoint is one (rate, clients) grid point's repetitions.
+type SweepPoint struct {
+	Rate    float64
+	Clients int
+	Runs    []*Result // indexed by rep
+}
+
+// Sweep is a completed campaign.
+type Sweep struct {
+	Points []SweepPoint
+
+	// Execution metadata (excluded from exports, which must stay a
+	// pure function of the seed).
+	WallTime        time.Duration
+	BusyTime        time.Duration
+	Workers         int
+	TotalEvents     uint64
+	TotalViolations int
+	FirstViolation  string
+}
+
+// sweepJob addresses one run: grid point and repetition indices.
+type sweepJob struct {
+	point, rep int
+}
+
+// sweepSeed derives one run's seed from the campaign seed, exactly as
+// the experiment campaign runner does: indices packed into disjoint
+// bit fields through the Splitmix64 bijection.
+func sweepSeed(campaign int64, point, rep int) int64 {
+	packed := uint64(point)<<21 | uint64(rep)
+	return int64(sim.Splitmix64(sim.Splitmix64(uint64(campaign)) ^ packed))
+}
+
+// RunSweep executes the grid. Like the experiment campaign runner, the
+// job list is shuffled before execution, fanned out to a worker pool,
+// and absorbed into points in the fixed shuffled-list order — so every
+// aggregate and export is byte-identical for any worker count.
+func RunSweep(opts SweepOpts) *Sweep {
+	rates := opts.Rates
+	if len(rates) == 0 {
+		rates = []float64{opts.Base.Rate}
+	}
+	fleets := opts.Clients
+	if len(fleets) == 0 {
+		fleets = []int{opts.Base.Clients}
+	}
+
+	sw := &Sweep{Workers: opts.workers()}
+	var jobs []sweepJob
+	for _, r := range rates {
+		for _, c := range fleets {
+			pi := len(sw.Points)
+			sw.Points = append(sw.Points, SweepPoint{
+				Rate: r, Clients: c, Runs: make([]*Result, opts.reps()),
+			})
+			for rep := 0; rep < opts.reps(); rep++ {
+				jobs = append(jobs, sweepJob{pi, rep})
+			}
+		}
+	}
+
+	order := sim.NewRNG(opts.Seed ^ 0x10ad)
+	order.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+
+	start := time.Now()
+	var busy atomic.Int64
+
+	runJob := func(j sweepJob) *Result {
+		t0 := time.Now()
+		cfg := opts.Base
+		p := sw.Points[j.point]
+		if p.Rate > 0 {
+			cfg.Rate = p.Rate
+			cfg.Flows = 0 // rate axis overrides a fixed flow count
+		}
+		if p.Clients > 0 {
+			cfg.Clients = p.Clients
+		}
+		cfg.Seed = sweepSeed(opts.Seed, j.point, j.rep)
+		res := Run(cfg)
+		busy.Add(int64(time.Since(t0)))
+		return res
+	}
+
+	absorb := func(j sweepJob, res *Result) {
+		sw.Points[j.point].Runs[j.rep] = res
+		sw.TotalEvents += res.Events
+		sw.TotalViolations += res.Violations
+		if sw.FirstViolation == "" {
+			sw.FirstViolation = res.FirstViolation
+		}
+	}
+
+	if sw.Workers <= 1 {
+		for k, j := range jobs {
+			absorb(j, runJob(j))
+			if opts.Progress != nil {
+				opts.Progress(k+1, len(jobs))
+			}
+		}
+	} else {
+		results := make([]*Result, len(jobs))
+		var next atomic.Int64
+		next.Store(-1)
+		var (
+			wg         sync.WaitGroup
+			progressMu sync.Mutex
+			done       int
+		)
+		for w := 0; w < sw.Workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					k := int(next.Add(1))
+					if k >= len(jobs) {
+						return
+					}
+					results[k] = runJob(jobs[k])
+					if opts.Progress != nil {
+						progressMu.Lock()
+						done++
+						opts.Progress(done, len(jobs))
+						progressMu.Unlock()
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		for k, j := range jobs {
+			absorb(j, results[k])
+		}
+	}
+
+	sw.BusyTime = time.Duration(busy.Load())
+	sw.WallTime = time.Since(start)
+	return sw
+}
+
+// ReplayToken renders the knobs that uniquely determine one run as a
+// compact "k=v,..." token; ParseReplay inverts it. Exported rows carry
+// one per run so any sweep cell can be re-executed standalone:
+//
+//	mptcpload -replay 'clients=200,flows=1000,dur=1m0s,seed=42,...'
+func (c Config) ReplayToken() string {
+	c = c.withDefaults()
+	var b strings.Builder
+	fmt.Fprintf(&b, "clients=%d", c.Clients)
+	if c.Sessions > 0 {
+		fmt.Fprintf(&b, ",sessions=%d,think=%s", c.Sessions, c.ThinkMean)
+	} else if c.Flows > 0 {
+		fmt.Fprintf(&b, ",flows=%d", c.Flows)
+	} else {
+		fmt.Fprintf(&b, ",rate=%g", c.Rate)
+	}
+	fmt.Fprintf(&b, ",dur=%s,drain=%s,seed=%d", c.Duration, c.Drain, c.Seed)
+	fmt.Fprintf(&b, ",mix=%s,transport=%s", c.Sizes.Name(), c.Transports)
+	if c.Controller != "" {
+		fmt.Fprintf(&b, ",cc=%s", c.Controller)
+	}
+	if c.Scheduler != "" {
+		fmt.Fprintf(&b, ",sched=%s", c.Scheduler)
+	}
+	if c.SampleProfiles {
+		b.WriteString(",sample=1")
+	}
+	if c.SelfCheck {
+		b.WriteString(",check=1")
+	}
+	bg := c.Background
+	if bg.Enabled() {
+		fmt.Fprintf(&b, ",bgwd=%s,bgwu=%s,bgcd=%s,bgcu=%s",
+			bg.WiFiDown, bg.WiFiUp, bg.CellDown, bg.CellUp)
+	}
+	return b.String()
+}
+
+// ParseReplay reconstructs a run Config from a ReplayToken. Profiles
+// come back as the defaults (the token does not encode sampled link
+// parameters; SampleProfiles re-derives them from the seed).
+func ParseReplay(tok string) (Config, error) {
+	var c Config
+	for _, part := range strings.Split(tok, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return c, fmt.Errorf("load: bad replay part %q", part)
+		}
+		var err error
+		switch k {
+		case "clients":
+			_, err = fmt.Sscanf(v, "%d", &c.Clients)
+		case "sessions":
+			_, err = fmt.Sscanf(v, "%d", &c.Sessions)
+		case "think":
+			c.ThinkMean, err = parseSimTime(v)
+		case "flows":
+			_, err = fmt.Sscanf(v, "%d", &c.Flows)
+		case "rate":
+			_, err = fmt.Sscanf(v, "%g", &c.Rate)
+		case "dur":
+			c.Duration, err = parseSimTime(v)
+		case "drain":
+			c.Drain, err = parseSimTime(v)
+		case "seed":
+			_, err = fmt.Sscanf(v, "%d", &c.Seed)
+		case "mix":
+			c.Sizes, err = ParseSizeDist(v)
+		case "transport":
+			c.Transports, err = ParseTransportMix(v)
+		case "cc":
+			c.Controller = v
+		case "sched":
+			c.Scheduler = v
+		case "sample":
+			c.SampleProfiles = v == "1"
+		case "check":
+			c.SelfCheck = v == "1"
+		case "bgwd":
+			c.Background.WiFiDown, err = units.ParseBitRate(v)
+		case "bgwu":
+			c.Background.WiFiUp, err = units.ParseBitRate(v)
+		case "bgcd":
+			c.Background.CellDown, err = units.ParseBitRate(v)
+		case "bgcu":
+			c.Background.CellUp, err = units.ParseBitRate(v)
+		default:
+			err = fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return c, fmt.Errorf("load: replay token part %q: %v", part, err)
+		}
+	}
+	return c, nil
+}
+
+func parseSimTime(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(s)
+	return sim.Time(d), err
+}
+
+// sortedRates lists a sweep's distinct rates in ascending order, for
+// report tables.
+func (sw *Sweep) sortedRates() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, p := range sw.Points {
+		if !seen[p.Rate] {
+			seen[p.Rate] = true
+			out = append(out, p.Rate)
+		}
+	}
+	sort.Float64s(out)
+	return out
+}

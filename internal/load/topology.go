@@ -1,0 +1,226 @@
+// Package load is the fleet workload engine: it drives hundreds to
+// thousands of concurrent TCP and MPTCP flows through ONE deterministic
+// simulation of the paper's access networks, scaled out sideways — N
+// clients sharing a single WiFi AP and a single cellular sector, the
+// "coffee shop at rush hour" the paper's one-wget-at-a-time methodology
+// cannot reach. The paper's most interesting mechanisms (lowest-RTT
+// scheduling, coupled congestion control, bufferbloat) only bite under
+// exactly this contention, and the ROADMAP's "heavy traffic from
+// millions of users" scales through here: every flow the engine opens
+// runs the real tcp/mptcp stacks over the real netem links, and every
+// metric streams through bounded-memory estimators (internal/stats
+// LogHist/P2/Acc) so a million flows cost the same stats memory as
+// ten.
+package load
+
+import (
+	"fmt"
+
+	"mptcplab/internal/netem"
+	"mptcplab/internal/pathmodel"
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/units"
+)
+
+// Well-known fleet addresses. Clients get 10.x.y.2 WiFi and 100.x.y.2
+// (CGNAT range) cellular addresses derived from their index.
+var (
+	FleetServerIP   = "192.168.1.1"
+	FleetServerPort = uint16(8080)
+)
+
+// MaxClients bounds the fleet size the address scheme supports.
+const MaxClients = 16384
+
+// Client is one fleet member: a host with a WiFi and a cellular
+// interface, both behind the shared access bottlenecks.
+type Client struct {
+	Host     *netem.Host
+	WiFiIP   [4]byte
+	CellIP   [4]byte
+	nextPort uint16
+}
+
+// addrs allocates a fresh (WiFi, cellular) local address pair for one
+// flow. Ports start at 40000 and advance by two per flow; a client
+// would need ~12k flows in one run to wrap into TIME_WAIT reuse.
+func (c *Client) addrs() (wifi, cell seg.Addr) {
+	p := c.nextPort
+	c.nextPort += 2
+	if c.nextPort < 40000 {
+		c.nextPort = 40000
+	}
+	return seg.Addr{IP: c.WiFiIP, Port: p}, seg.Addr{IP: c.CellIP, Port: p + 1}
+}
+
+// Topology is the materialized fleet network: N clients, one server,
+// shared WiFi and cellular access bottlenecks, and optional background
+// cross-traffic hosts.
+type Topology struct {
+	Sim     *sim.Simulator
+	Net     *netem.Network
+	Server  *netem.Host
+	Clients []*Client
+	SrvAddr seg.Addr
+
+	// The shared access bottlenecks every client competes for.
+	APUp, APDown     *netem.Link
+	CellUp, CellDown *netem.Link
+	CellRadio        *netem.Radio
+
+	// Server LAN links (gigabit, never the bottleneck).
+	SrvIn, SrvOut *netem.Link
+
+	// Background cross-traffic endpoints (nil hosts when disabled).
+	bgClient, bgSink *netem.Host
+}
+
+// clientIPs derives the two interface addresses of client i.
+func clientIPs(i int) (wifi, cell [4]byte) {
+	return [4]byte{10, byte(i >> 8), byte(i), 2},
+		[4]byte{100, byte(64 + i>>8), byte(i), 2}
+}
+
+// NewTopology builds the fleet network on a fresh simulator: the WiFi
+// profile becomes the shared AP, the cellular profile the shared
+// sector, and every client's two paths to the server run through them.
+// Sharing is the point — netem links serialize all routes that traverse
+// them, so client contention emerges from the same queueing mechanics
+// as the single-client testbed's self-congestion.
+func NewTopology(s *sim.Simulator, rng *sim.RNG, wifi, cell pathmodel.Profile, clients int) *Topology {
+	if clients < 1 || clients > MaxClients {
+		panic(fmt.Sprintf("load: %d clients outside [1,%d]", clients, MaxClients))
+	}
+	n := netem.NewNetwork(s)
+	t := &Topology{
+		Sim: s, Net: n,
+		Server:  n.NewHost("fleet-server"),
+		SrvAddr: seg.MakeAddr(FleetServerIP, FleetServerPort),
+	}
+	t.APUp, t.APDown, _ = wifi.Links(s, rng.Child("ap"))
+	t.CellUp, t.CellDown, t.CellRadio = cell.Links(s, rng.Child("cell"))
+	// Stable names regardless of profile, so exports and reports can
+	// address the bottlenecks uniformly.
+	t.APUp.Name, t.APDown.Name = "ap-up", "ap-down"
+	t.CellUp.Name, t.CellDown.Name = "cell-up", "cell-down"
+
+	lan := func(name string) *netem.Link {
+		l := netem.NewLink(s, rng, name)
+		l.Rate = 1 * units.Gbps
+		l.PropDelay = 500 * sim.Microsecond
+		l.QueueLimit = 64 * units.MB
+		return l
+	}
+	t.SrvIn, t.SrvOut = lan("srv-in"), lan("srv-out")
+
+	t.Clients = make([]*Client, clients)
+	for i := range t.Clients {
+		wifiIP, cellIP := clientIPs(i)
+		c := &Client{
+			Host:     n.NewHost(fmt.Sprintf("client-%d", i)),
+			WiFiIP:   wifiIP,
+			CellIP:   cellIP,
+			nextPort: 40000,
+		}
+		t.Clients[i] = c
+		n.AddDuplexRoute(wifiIP, t.SrvAddr.IP, c.Host, t.Server,
+			[]*netem.Link{t.APUp, t.SrvIn}, []*netem.Link{t.SrvOut, t.APDown})
+		n.AddDuplexRoute(cellIP, t.SrvAddr.IP, c.Host, t.Server,
+			[]*netem.Link{t.CellUp, t.SrvIn}, []*netem.Link{t.SrvOut, t.CellDown})
+	}
+	return t
+}
+
+// IsCellIP classifies an address by access network: cellular client
+// interfaces live in the CGNAT 100.64/10 block.
+func (t *Topology) IsCellIP(a seg.Addr) bool { return a.IP[0] == 100 }
+
+// AccessLinks lists the four shared bottleneck links.
+func (t *Topology) AccessLinks() []*netem.Link {
+	return []*netem.Link{t.APUp, t.APDown, t.CellUp, t.CellDown}
+}
+
+// AllLinks lists every link in the topology, access plus LAN.
+func (t *Topology) AllLinks() []*netem.Link {
+	return append(t.AccessLinks(), t.SrvIn, t.SrvOut)
+}
+
+// Background configures constant-average-rate cross-traffic injected
+// straight through the shared bottlenecks — the other patrons of the
+// coffee shop, whose packets occupy queue space and serialization time
+// but belong to no measured flow.
+type Background struct {
+	WiFiDown, WiFiUp units.BitRate
+	CellDown, CellUp units.BitRate
+}
+
+// Enabled reports whether any background stream has a nonzero rate.
+func (b Background) Enabled() bool {
+	return b.WiFiDown > 0 || b.WiFiUp > 0 || b.CellDown > 0 || b.CellUp > 0
+}
+
+// sink swallows delivered background packets; the route chain releases
+// the segments back to the pool after Receive returns.
+type sink struct{}
+
+func (sink) Receive(*seg.Segment) {}
+
+// Background packets carry a full MSS payload; with the 40-byte
+// IPv4+TCP headers the wire size is 1500 bytes.
+const (
+	bgPayloadBytes = 1460
+	bgPacketBytes  = bgPayloadBytes + 40
+)
+
+// StartBackground arms the configured cross-traffic streams until
+// stop. Each stream is a Poisson packet process with mean rate equal
+// to the configured bit rate, drawn from its own RNG child so enabling
+// one stream never perturbs another (or the flows).
+func (t *Topology) StartBackground(bg Background, rng *sim.RNG, stop sim.Time) {
+	if !bg.Enabled() {
+		return
+	}
+	// Downstream sources sit behind the server LAN; upstream sources
+	// behind the clients. One source/sink host pair serves all four
+	// streams with distinct addresses per direction.
+	t.bgClient = t.Net.NewHost("bg-client")
+	t.bgSink = t.Net.NewHost("bg-sink")
+
+	arm := func(name string, rate units.BitRate, src, dst seg.Addr, srcHost, dstHost *netem.Host, hops []*netem.Link) {
+		if rate <= 0 {
+			return
+		}
+		t.Net.AddRoute(src.IP, dst.IP, dstHost, hops...)
+		dstHost.Bind(dst, src, sink{})
+		r := rng.Child("bg/" + name)
+		// Mean inter-packet gap for the target average rate.
+		mean := float64(rate.TransmitTime(bgPacketBytes))
+		var tick func()
+		tick = func() {
+			if t.Sim.Now() >= stop {
+				return
+			}
+			s := t.Net.NewSegment()
+			s.Src, s.Dst = src, dst
+			s.Flags = seg.ACK
+			s.PayloadLen = bgPayloadBytes
+			srcHost.Send(s)
+			t.Sim.At(t.Sim.Now()+sim.Time(r.Exponential(mean)), "bg:"+name, tick)
+		}
+		t.Sim.At(sim.Time(r.Exponential(mean)), "bg:"+name, tick)
+	}
+
+	arm("wifi-down", bg.WiFiDown,
+		seg.MakeAddr("192.168.1.200", 9), seg.MakeAddr("10.255.255.1", 9),
+		t.bgClient, t.bgSink, []*netem.Link{t.APDown})
+	arm("wifi-up", bg.WiFiUp,
+		seg.MakeAddr("10.255.255.2", 9), seg.MakeAddr("192.168.1.201", 9),
+		t.bgClient, t.bgSink, []*netem.Link{t.APUp})
+	arm("cell-down", bg.CellDown,
+		seg.MakeAddr("192.168.1.202", 9), seg.MakeAddr("100.127.255.1", 9),
+		t.bgClient, t.bgSink, []*netem.Link{t.CellDown})
+	arm("cell-up", bg.CellUp,
+		seg.MakeAddr("100.127.255.2", 9), seg.MakeAddr("192.168.1.203", 9),
+		t.bgClient, t.bgSink, []*netem.Link{t.CellUp})
+}

@@ -79,11 +79,15 @@ type Subflow struct {
 	pendingOpts []seg.Option
 	lastPenalty sim.Time
 	joinNonce   uint32
+	// alignHold marks a subflow whose free space stops short of the
+	// next MSS boundary; pump sets it to steer the scheduler toward
+	// other subflows for the rest of the current pass.
+	alignHold bool
 }
 
 // usable reports whether the scheduler may assign data to this subflow.
 func (sf *Subflow) usable() bool {
-	return sf.EP.Established() && sf.EP.SendSpace() > 0
+	return !sf.alignHold && sf.EP.Established() && sf.EP.SendSpace() > 0
 }
 
 // mappingFor finds the mapping covering stream offset off, or nil.
@@ -410,6 +414,9 @@ func (c *Conn) BytesWritten() int64 { return int64(c.sndEndData - initialDataSeq
 // pump assigns unassigned data to subflows per the scheduler until
 // windows are exhausted.
 func (c *Conn) pump() {
+	for _, sf := range c.subflows {
+		sf.alignHold = false
+	}
 	for c.sndNxtData < c.sndEndData {
 		i := c.sched.Pick(c.subflows)
 		if i < 0 {
@@ -428,17 +435,46 @@ func (c *Conn) pump() {
 		// aggregate to the peer's data-level right edge instead.
 		// peerDataEdge == 0 means no DSS ACK seen yet (handshake); the
 		// subflow window alone governs that first flight.
+		dataClamped := false
 		if c.peerDataEdge > 0 {
 			if dspace := int64(c.peerDataEdge) - int64(c.sndNxtData); chunk > dspace {
 				chunk = dspace
+				dataClamped = true
 			}
 		}
 		if chunk <= 0 {
 			return
 		}
+		off := sf.EP.WriteOffset()
+		// Align the mapping's end to an MSS boundary of the subflow
+		// stream. Segments cannot cross mapping boundaries, so unaligned
+		// mappings — whose sizes echo whatever SendSpace freed at pick
+		// time — would fragment the stream into sub-MSS segments: more
+		// packets per byte, more per-packet drops at shared queues, and
+		// a persistent throughput handicap against plain TCP. Alignment
+		// applies only when the subflow's own congestion window is the
+		// binding constraint: a chunk cut short by the stream tail or by
+		// the receive window — subflow-level or data-level — must go out
+		// as-is (filling the window is what lets a stall be observed and
+		// penalized).
+		mss := int64(sf.EP.Config().MSS)
+		if rem := int64(c.sndEndData - c.sndNxtData); chunk < rem && !dataClamped && !sf.EP.RwndBinding() && mss > 0 {
+			aligned := (off+chunk)/mss*mss - off
+			if aligned > 0 {
+				chunk = aligned
+			} else if sf.EP.UnackedBytes() > 0 {
+				// Defer the sub-MSS leftover: this subflow's ACK clock
+				// is running and will free a full segment's worth soon.
+				// Hold it out of scheduling so other subflows still get
+				// data this pass; an idle subflow (no ACKs coming) sends
+				// the runt instead — progress beats alignment when
+				// nothing else would trigger the next pump.
+				sf.alignHold = true
+				continue
+			}
+		}
 		// Record the mapping before Write: Write transmits segments
 		// synchronously and buildOptions must already see it.
-		off := sf.EP.WriteOffset()
 		sf.mappings = append(sf.mappings, mapping{dataSeq: c.sndNxtData, off: off, length: chunk})
 		c.sndNxtData += uint64(chunk)
 		sf.EP.Write(int(chunk))

@@ -96,10 +96,13 @@ func (b *ReorderBuffer) Insert(now sim.Time, start, end uint64, subflow int) {
 		b.rcvNxt = end
 		delivered := int64(end - start)
 		b.drain(now, &delivered)
+		// Count before the callback: OnDeliver handlers (completion
+		// hooks, invariant probes) must observe Delivered consistent
+		// with rcvNxt.
+		b.Delivered += delivered
 		if b.OnDeliver != nil && delivered > 0 {
 			b.OnDeliver(delivered)
 		}
-		b.Delivered += delivered
 		return
 	}
 

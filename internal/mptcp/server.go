@@ -147,6 +147,10 @@ func (s *Server) wireSubflow(c *Conn, ep *tcp.Endpoint, label string) *Subflow {
 	}
 	c.subflows = append(c.subflows, sf)
 	c.flows = append(c.flows, ep)
+	// The listener created ep with the plain-TCP config; as a subflow
+	// it must run the connection's (possibly coupled) controller, just
+	// like an actively opened subflow.
+	ep.SetController(c.cfg.Controller)
 	for i, other := range c.subflows {
 		other.EP.SetCoupled(c.flows, i)
 	}

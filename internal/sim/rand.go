@@ -105,3 +105,15 @@ func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
 func exp(x float64) float64    { return math.Exp(x) }
 func pow(x, y float64) float64 { return math.Pow(x, y) }
+
+// Splitmix64 is the 64-bit finalizer of the SplitMix generator
+// (Steele, Lea & Flood 2014): a bijection on uint64 with full
+// avalanche, so distinct inputs always produce distinct outputs. The
+// campaign and fleet runners both derive collision-free per-job seeds
+// with it.
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -48,11 +48,15 @@ func (s *Sample) AddAll(xs []float64) {
 // N reports the number of observations.
 func (s *Sample) N() int { return len(s.xs) }
 
-// Values returns the observations in sorted order. The returned slice
-// aliases internal storage; treat it as read-only.
+// Values returns a copy of the observations in sorted order. The copy
+// is defensive: earlier versions returned the internal slice, and a
+// caller mutating it would silently corrupt every later quantile.
+// Callers that only need order statistics should prefer Quantile.
 func (s *Sample) Values() []float64 {
 	s.sort()
-	return s.xs
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
 }
 
 func (s *Sample) sort() {

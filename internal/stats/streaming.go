@@ -1,0 +1,384 @@
+package stats
+
+// Streaming estimators for fleet-scale metrics. A campaign of a few
+// dozen downloads can afford to keep every sample in a Sample; a fleet
+// of thousands of concurrent flows cannot — per-packet RTTs alone
+// would be O(flows × samples). The types here hold O(bins) (LogHist)
+// or O(1) (Acc, P2Quantile) memory no matter how many observations
+// stream through, at the cost of bounded approximation error that the
+// property tests in streaming_test.go pin against the exact Sample.
+
+import (
+	"fmt"
+	"math"
+)
+
+// Acc is a constant-memory accumulator of count, sum, sum of squares,
+// min and max — enough for mean, stddev, and Jain's fairness index.
+type Acc struct {
+	n          int64
+	sum, sumsq float64
+	minv, maxv float64
+}
+
+// Add folds one observation in. NaNs are dropped, as Sample.Add does.
+func (a *Acc) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if a.n == 0 || x < a.minv {
+		a.minv = x
+	}
+	if a.n == 0 || x > a.maxv {
+		a.maxv = x
+	}
+	a.n++
+	a.sum += x
+	a.sumsq += x * x
+}
+
+// N reports the number of observations.
+func (a *Acc) N() int64 { return a.n }
+
+// Sum reports the running total.
+func (a *Acc) Sum() float64 { return a.sum }
+
+// Mean reports the running mean (0 when empty).
+func (a *Acc) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Min reports the smallest observation (0 when empty).
+func (a *Acc) Min() float64 { return a.minv }
+
+// Max reports the largest observation (0 when empty).
+func (a *Acc) Max() float64 { return a.maxv }
+
+// Stddev reports the population standard deviation. Computed from the
+// sum of squares, so it can wobble for huge means; fleet metrics
+// (seconds, Mbps) are far from that regime.
+func (a *Acc) Stddev() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	m := a.Mean()
+	v := a.sumsq/float64(a.n) - m*m
+	if v < 0 {
+		v = 0
+	}
+	return math.Sqrt(v)
+}
+
+// Jain reports Jain's fairness index (sum x)² / (n · sum x²) over the
+// accumulated observations: 1 when all shares are equal, 1/n when one
+// flow has everything. Empty accumulators report 0.
+func (a *Acc) Jain() float64 {
+	if a.n == 0 || a.sumsq == 0 {
+		return 0
+	}
+	return a.sum * a.sum / (float64(a.n) * a.sumsq)
+}
+
+// Merge folds another accumulator into this one.
+func (a *Acc) Merge(b *Acc) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 || b.minv < a.minv {
+		a.minv = b.minv
+	}
+	if a.n == 0 || b.maxv > a.maxv {
+		a.maxv = b.maxv
+	}
+	a.n += b.n
+	a.sum += b.sum
+	a.sumsq += b.sumsq
+}
+
+// LogHist is a fixed-bin histogram with logarithmically spaced bin
+// edges over [Lo, Hi) plus underflow and overflow ranges. Memory is
+// O(bins) forever. Quantile estimates carry bounded *relative* error:
+// the estimate lands in the same (or an adjacent) bin as the exact
+// sample quantile, so it is within roughly two bin-edge ratios
+// (2·ln(Hi/Lo)/bins in log space) of the exact value — the bound the
+// property tests assert.
+type LogHist struct {
+	lo, hi  float64
+	invLogW float64 // bins / ln(hi/lo), precomputed for Add
+	counts  []uint64
+	under   uint64 // observations < lo (incl. zero and negative)
+	over    uint64 // observations >= hi
+	acc     Acc    // exact count/sum/min/max ride along for free
+}
+
+// NewLogHist returns a histogram of the given bin count over [lo, hi).
+// lo must be positive and hi > lo; bins must be at least 1.
+func NewLogHist(lo, hi float64, bins int) *LogHist {
+	if !(lo > 0) || !(hi > lo) || bins < 1 {
+		panic(fmt.Sprintf("stats: bad LogHist geometry [%g,%g) x%d", lo, hi, bins))
+	}
+	return &LogHist{
+		lo: lo, hi: hi,
+		invLogW: float64(bins) / math.Log(hi/lo),
+		counts:  make([]uint64, bins),
+	}
+}
+
+// Add folds one observation in. NaNs are dropped.
+func (h *LogHist) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	h.acc.Add(x)
+	if x < h.lo {
+		h.under++
+		return
+	}
+	if x >= h.hi {
+		h.over++
+		return
+	}
+	i := int(math.Log(x/h.lo) * h.invLogW)
+	if i >= len(h.counts) { // guard float rounding at the top edge
+		i = len(h.counts) - 1
+	}
+	h.counts[i]++
+}
+
+// N reports the number of observations.
+func (h *LogHist) N() int64 { return h.acc.N() }
+
+// Bins reports the configured bin count.
+func (h *LogHist) Bins() int { return len(h.counts) }
+
+// Mean reports the exact running mean.
+func (h *LogHist) Mean() float64 { return h.acc.Mean() }
+
+// Min reports the exact minimum observation.
+func (h *LogHist) Min() float64 { return h.acc.Min() }
+
+// Max reports the exact maximum observation.
+func (h *LogHist) Max() float64 { return h.acc.Max() }
+
+// Stddev reports the exact-sum population standard deviation.
+func (h *LogHist) Stddev() float64 { return h.acc.Stddev() }
+
+// edge returns the i-th bin edge (0..bins), log-spaced.
+func (h *LogHist) edge(i int) float64 {
+	if i <= 0 {
+		return h.lo
+	}
+	if i >= len(h.counts) {
+		return h.hi
+	}
+	return h.lo * math.Exp(float64(i)/h.invLogW)
+}
+
+// Quantile estimates the q-quantile by walking the cumulative counts
+// and interpolating log-linearly inside the covering bin. Underflow
+// mass interpolates between the exact min and lo; overflow between hi
+// and the exact max.
+func (h *LogHist) Quantile(q float64) float64 {
+	n := h.acc.N()
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.acc.Min()
+	}
+	if q >= 1 {
+		return h.acc.Max()
+	}
+	rank := q * float64(n)
+	cum := float64(h.under)
+	if rank <= cum {
+		// Inside the underflow range: linear between min and lo.
+		lo := h.acc.Min()
+		return lo + (h.lo-lo)*(rank/cum)
+	}
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if rank <= next {
+			frac := (rank - cum) / float64(c)
+			a, b := h.edge(i), h.edge(i+1)
+			return a * math.Pow(b/a, frac)
+		}
+		cum = next
+	}
+	// Overflow range: linear between hi and max.
+	if h.over == 0 {
+		return h.acc.Max()
+	}
+	frac := (rank - cum) / float64(h.over)
+	if frac > 1 {
+		frac = 1
+	}
+	return h.hi + (h.acc.Max()-h.hi)*frac
+}
+
+// FractionAbove reports the estimated P(X > t), rounding t up to the
+// covering bin edge (exact at bin edges; bounded by one bin otherwise).
+func (h *LogHist) FractionAbove(t float64) float64 {
+	n := h.acc.N()
+	if n == 0 {
+		return 0
+	}
+	if t < h.lo {
+		return float64(n-int64(h.under)) / float64(n)
+	}
+	if t >= h.hi {
+		return float64(h.over) / float64(n)
+	}
+	i := int(math.Log(t/h.lo) * h.invLogW)
+	if i >= len(h.counts) {
+		i = len(h.counts) - 1
+	}
+	var above uint64 = h.over
+	for j := i + 1; j < len(h.counts); j++ {
+		above += h.counts[j]
+	}
+	return float64(above) / float64(n)
+}
+
+// Merge folds another histogram with identical geometry into this one.
+func (h *LogHist) Merge(o *LogHist) {
+	if o.lo != h.lo || o.hi != h.hi || len(o.counts) != len(h.counts) {
+		panic("stats: merging LogHists with different geometry")
+	}
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.under += o.under
+	h.over += o.over
+	h.acc.Merge(&o.acc)
+}
+
+// P2Quantile estimates a single quantile online with the P² algorithm
+// (Jain & Chlamtac, CACM 1985): five markers, O(1) memory and O(1)
+// per observation, no distribution assumptions.
+type P2Quantile struct {
+	p     float64
+	n     int64
+	q     [5]float64 // marker heights
+	pos   [5]float64 // marker positions (1-based)
+	want  [5]float64 // desired positions
+	dwant [5]float64 // desired-position increments
+}
+
+// NewP2Quantile returns an estimator for the p-quantile (0 < p < 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if !(p > 0 && p < 1) {
+		panic(fmt.Sprintf("stats: P2 quantile p=%g outside (0,1)", p))
+	}
+	e := &P2Quantile{p: p}
+	e.pos = [5]float64{1, 2, 3, 4, 5}
+	e.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.dwant = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// P reports the target quantile.
+func (e *P2Quantile) P() float64 { return e.p }
+
+// N reports the number of observations.
+func (e *P2Quantile) N() int64 { return e.n }
+
+// Add folds one observation in. NaNs are dropped.
+func (e *P2Quantile) Add(x float64) {
+	if math.IsNaN(x) {
+		return
+	}
+	if e.n < 5 {
+		// Insertion-sort the first five observations into the markers.
+		i := int(e.n)
+		for i > 0 && e.q[i-1] > x {
+			e.q[i] = e.q[i-1]
+			i--
+		}
+		e.q[i] = x
+		e.n++
+		return
+	}
+	e.n++
+
+	// Find the cell k such that q[k] <= x < q[k+1], clamping extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.want {
+		e.want[i] += e.dwant[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic marker adjustment.
+func (e *P2Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback adjustment when the parabola escapes the
+// neighbouring markers.
+func (e *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value reports the current quantile estimate. With fewer than five
+// observations it interpolates the exact partial sample.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		// Exact quantile of the sorted partial sample.
+		pos := e.p * float64(e.n-1)
+		lo := int(pos)
+		frac := pos - float64(lo)
+		if lo+1 >= int(e.n) {
+			return e.q[e.n-1]
+		}
+		return e.q[lo]*(1-frac) + e.q[lo+1]*frac
+	}
+	return e.q[2]
+}

@@ -1,0 +1,277 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// generators produce the input shapes fleet metrics actually have:
+// flat, heavy-tailed, and multi-modal positive data.
+var generators = []struct {
+	name string
+	gen  func(r *rand.Rand) float64
+}{
+	{"uniform", func(r *rand.Rand) float64 { return 1 + 999*r.Float64() }},
+	{"lognormal", func(r *rand.Rand) float64 { return math.Exp(2 + 1.5*r.NormFloat64()) }},
+	{"pareto", func(r *rand.Rand) float64 { return 8 * math.Pow(r.Float64(), -1/1.2) }},
+	{"bimodal", func(r *rand.Rand) float64 {
+		if r.Intn(2) == 0 {
+			return 5 + r.Float64()
+		}
+		return 500 + 100*r.Float64()
+	}},
+}
+
+var quantiles = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
+
+// TestLogHistVsExactSample is the streaming-estimator property test:
+// on random inputs the histogram's mean must match the exact Sample
+// mean and its quantiles must land within the documented relative
+// error bound — two bin-edge ratios in log space — of the exact
+// Sample quantiles.
+func TestLogHistVsExactSample(t *testing.T) {
+	const (
+		lo, hi = 1e-2, 1e6
+		bins   = 256
+		n      = 5000
+	)
+	// Two bin widths in log space: the estimate and the exact quantile
+	// can land in adjacent bins before interpolation error.
+	bound := 2 * math.Log(hi/lo) / bins
+	for _, g := range generators {
+		for seed := int64(1); seed <= 5; seed++ {
+			r := rand.New(rand.NewSource(seed))
+			h := NewLogHist(lo, hi, bins)
+			exact := New()
+			for i := 0; i < n; i++ {
+				x := g.gen(r)
+				h.Add(x)
+				exact.Add(x)
+			}
+			if h.N() != int64(exact.N()) {
+				t.Fatalf("%s/%d: N %d != %d", g.name, seed, h.N(), exact.N())
+			}
+			if diff := math.Abs(h.Mean() - exact.Mean()); diff > 1e-6*math.Abs(exact.Mean()) {
+				t.Errorf("%s/%d: mean %g != exact %g", g.name, seed, h.Mean(), exact.Mean())
+			}
+			if h.Min() != exact.Min() || h.Max() != exact.Max() {
+				t.Errorf("%s/%d: min/max %g/%g != exact %g/%g",
+					g.name, seed, h.Min(), h.Max(), exact.Min(), exact.Max())
+			}
+			for _, q := range quantiles {
+				est, ex := h.Quantile(q), exact.Quantile(q)
+				if ex <= 0 {
+					continue
+				}
+				if err := math.Abs(math.Log(est / ex)); err > bound {
+					t.Errorf("%s/%d: q%.2f est %g vs exact %g (log err %.4f > %.4f)",
+						g.name, seed, q, est, ex, err, bound)
+				}
+			}
+		}
+	}
+}
+
+// TestP2QuantileVsExactSample pins the P² estimator against the exact
+// sample quantile by rank: the estimate's rank in the exact sorted
+// sample must be within a few percent of the target quantile. (P² has
+// no worst-case value-error bound, but its rank error on smooth data
+// is small and stable — this is the property the fleet p99 relies on.)
+func TestP2QuantileVsExactSample(t *testing.T) {
+	const n = 5000
+	for _, g := range generators {
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			for seed := int64(1); seed <= 5; seed++ {
+				r := rand.New(rand.NewSource(seed))
+				est := NewP2Quantile(p)
+				exact := New()
+				for i := 0; i < n; i++ {
+					x := g.gen(r)
+					est.Add(x)
+					exact.Add(x)
+				}
+				v := est.Value()
+				// Rank of the estimate within the exact sample.
+				rank := 1 - exact.FractionAbove(v)
+				if diff := math.Abs(rank - p); diff > 0.04 {
+					t.Errorf("%s p%.2f seed %d: estimate %g sits at rank %.3f (|Δ| %.3f > 0.04)",
+						g.name, p, seed, v, rank, diff)
+				}
+			}
+		}
+	}
+}
+
+// TestP2QuantileSmallN: below five observations the estimator must be
+// exact (it interpolates the sorted partial sample).
+func TestP2QuantileSmallN(t *testing.T) {
+	xs := []float64{5, 1, 4, 2}
+	est := NewP2Quantile(0.5)
+	exact := New()
+	for i, x := range xs {
+		est.Add(x)
+		exact.Add(x)
+		if got, want := est.Value(), exact.Quantile(0.5); got != want {
+			t.Fatalf("after %d adds: P2 median %g != exact %g", i+1, got, want)
+		}
+	}
+}
+
+// TestLogHistUnderOverflow exercises observations outside [lo, hi).
+func TestLogHistUnderOverflow(t *testing.T) {
+	h := NewLogHist(1, 100, 10)
+	for _, x := range []float64{0.1, 0.5, 2, 50, 200, 1000} {
+		h.Add(x)
+	}
+	if h.N() != 6 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if got := h.Quantile(0); got != 0.1 {
+		t.Errorf("q0 = %g, want exact min 0.1", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("q1 = %g, want exact max 1000", got)
+	}
+	// The 5/6 rank boundary falls in the overflow range [100, 1000].
+	if got := h.Quantile(0.99); got < 100 || got > 1000 {
+		t.Errorf("q0.99 = %g, want within overflow range [100,1000]", got)
+	}
+	if got := h.FractionAbove(100); got != 2.0/6 {
+		t.Errorf("FractionAbove(100) = %g, want 1/3", got)
+	}
+}
+
+// TestLogHistMerge: merging two histograms must equal histogramming
+// the concatenated stream.
+func TestLogHistMerge(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	a, b, all := NewLogHist(1, 1e4, 64), NewLogHist(1, 1e4, 64), NewLogHist(1, 1e4, 64)
+	for i := 0; i < 1000; i++ {
+		x := math.Exp(4 + 2*r.NormFloat64())
+		if i%2 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+		all.Add(x)
+	}
+	a.Merge(b)
+	if a.N() != all.N() {
+		t.Fatalf("merge N %d != %d", a.N(), all.N())
+	}
+	// Sums are folded in a different order, so the means may differ by
+	// float rounding — but nothing more.
+	if diff := math.Abs(a.Mean() - all.Mean()); diff > 1e-9*all.Mean() {
+		t.Fatalf("merge mean %g != %g", a.Mean(), all.Mean())
+	}
+	for _, q := range quantiles {
+		if got, want := a.Quantile(q), all.Quantile(q); got != want {
+			t.Errorf("merge q%.2f %g != %g", q, got, want)
+		}
+	}
+}
+
+// TestAccJain checks the closed forms: equal shares give 1, a single
+// hog among n flows gives 1/n.
+func TestAccJain(t *testing.T) {
+	var eq Acc
+	for i := 0; i < 8; i++ {
+		eq.Add(3.5)
+	}
+	if got := eq.Jain(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("equal shares: Jain %g != 1", got)
+	}
+	var hog Acc
+	hog.Add(100)
+	for i := 0; i < 9; i++ {
+		hog.Add(0)
+	}
+	if got := hog.Jain(); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("one hog in 10: Jain %g != 0.1", got)
+	}
+	var mixed Acc
+	for _, x := range []float64{1, 2, 3, 4} {
+		mixed.Add(x)
+	}
+	// (1+2+3+4)²/(4·(1+4+9+16)) = 100/120.
+	if got, want := mixed.Jain(), 100.0/120.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed: Jain %g != %g", got, want)
+	}
+}
+
+// TestAccMergeAndMoments pins Acc against the exact Sample.
+func TestAccMergeAndMoments(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	var a, b Acc
+	exact := New()
+	for i := 0; i < 500; i++ {
+		x := r.Float64() * 100
+		exact.Add(x)
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != int64(exact.N()) {
+		t.Fatalf("N %d != %d", a.N(), exact.N())
+	}
+	if math.Abs(a.Mean()-exact.Mean()) > 1e-9 {
+		t.Errorf("mean %g != %g", a.Mean(), exact.Mean())
+	}
+	if a.Min() != exact.Min() || a.Max() != exact.Max() {
+		t.Errorf("min/max %g/%g != %g/%g", a.Min(), a.Max(), exact.Min(), exact.Max())
+	}
+}
+
+// TestSampleValuesDefensiveCopy guards the aliasing fix: mutating the
+// returned slice must not corrupt later quantiles.
+func TestSampleValuesDefensiveCopy(t *testing.T) {
+	s := Of(3, 1, 2)
+	vs := s.Values()
+	vs[0] = 1e9
+	if got := s.Min(); got != 1 {
+		t.Fatalf("mutating Values() corrupted the sample: min = %g", got)
+	}
+	if got := s.Median(); got != 2 {
+		t.Fatalf("mutating Values() corrupted the sample: median = %g", got)
+	}
+}
+
+// TestStreamingAccessors pins the small accessor surface the exporters
+// and CLIs read: exact moments riding along the histogram, and the P²
+// estimator's identity methods.
+func TestStreamingAccessors(t *testing.T) {
+	h := NewLogHist(1, 100, 8)
+	var a Acc
+	for _, x := range []float64{2, 4, 8, 16} {
+		h.Add(x)
+		a.Add(x)
+	}
+	if h.Bins() != 8 {
+		t.Errorf("Bins() = %d, want 8", h.Bins())
+	}
+	if got := a.Sum(); got != 30 {
+		t.Errorf("Acc.Sum() = %v, want 30", got)
+	}
+	if got, want := h.Stddev(), a.Stddev(); got != want {
+		t.Errorf("LogHist.Stddev() = %v, want Acc's %v", got, want)
+	}
+	// Population stddev of {2,4,8,16}: mean 7.5, E[x^2] = 85.
+	if want := math.Sqrt(85 - 7.5*7.5); math.Abs(a.Stddev()-want) > 1e-12 {
+		t.Errorf("Acc.Stddev() = %v, want %v", a.Stddev(), want)
+	}
+
+	p := NewP2Quantile(0.9)
+	if p.P() != 0.9 {
+		t.Errorf("P() = %v, want 0.9", p.P())
+	}
+	for i := 0; i < 10; i++ {
+		p.Add(float64(i))
+	}
+	if p.N() != 10 {
+		t.Errorf("N() = %d, want 10", p.N())
+	}
+}

@@ -254,6 +254,15 @@ func (e *Endpoint) SetCoupled(flows []cc.Flow, self int) {
 	e.ccSelf = self
 }
 
+// SetController replaces the congestion-avoidance algorithm. MPTCP
+// uses this to adopt listener-accepted endpoints, which are created
+// with the listener's plain-TCP config, into a coupled connection.
+func (e *Endpoint) SetController(ctrl cc.Controller) {
+	if ctrl != nil {
+		e.cfg.Controller = ctrl
+	}
+}
+
 // Config returns the endpoint's configuration.
 func (e *Endpoint) Config() Config { return e.cfg }
 

@@ -286,16 +286,19 @@ func (e *Endpoint) onRTO() {
 	e.inRecovery = false
 	e.dupAcks = 0
 
-	// Retransmit only the head of the window, as Linux does: if the
-	// timeout was spurious (a delay spike, common on 3G paths), the
-	// ACK for the head covers everything outstanding and no further
-	// data is resent; if data genuinely died, the returning ACK/SACK
-	// stream drives hole-by-hole recovery.
+	// Mark everything un-SACKed as lost (Linux's CA_Loss go-back-N).
+	// Only the head goes out now — retransmitLost lets the collapsed
+	// window cover one segment — and each returning ACK re-clocks the
+	// next hole under slow start. Marking just the head would strand
+	// the rest: once the RTO clears inRecovery, no partial-ACK
+	// hole-marking runs, so recovery would degenerate to one segment
+	// per (Karn-backed-off) timeout. If the timeout was spurious (a
+	// delay spike, common on 3G paths), the late ACK covers the whole
+	// flight, prunes these records, and nothing is resent.
 	for i := range e.inflight {
 		r := &e.inflight[i]
 		if !e.board.IsSacked(r.seq, r.end) {
 			r.lost = true
-			break
 		}
 	}
 	e.rtxTimer.Reset(e.est.RTO())
@@ -364,4 +367,13 @@ func (e *Endpoint) PushAck() {
 // MPTCP's receive-buffer penalization heuristic.
 func (e *Endpoint) WindowLimited() bool {
 	return e.rwnd < e.cwndBytes() && e.pipe() >= e.rwnd
+}
+
+// RwndBinding reports whether the peer's receive window, not cwnd, is
+// what bounds SendSpace right now. MPTCP's scheduler consults it: a
+// window-bound subflow should be packed to the brim (so a stall is
+// observable as such), while a cwnd-bound one defers sub-MSS leftovers
+// to keep segments full-sized.
+func (e *Endpoint) RwndBinding() bool {
+	return e.rwnd < e.cwndBytes()
 }
