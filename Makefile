@@ -4,7 +4,7 @@ SHA := $(shell git rev-parse --short HEAD)
 # Benchmarks archived per commit and gated on allocs/op by benchjson.
 GATED_BENCHES := BenchmarkSimEventLoop|BenchmarkSegEncodeDecode|BenchmarkSingleDownload4MB|BenchmarkTCPSingle4MB
 
-.PHONY: all build test race vet bench fuzz-smoke cover loadsmoke
+.PHONY: all build test race vet bench fuzz-smoke cover loadsmoke chaos-smoke
 
 all: vet build test
 
@@ -12,13 +12,13 @@ build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -timeout 10m ./...
 
 vet:
 	$(GO) vet ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on -timeout 20m ./...
 
 # bench runs the gated hot-path benchmarks with -benchmem, archives
 # the numbers as BENCH_<sha>.json, and fails if any allocation gate
@@ -51,6 +51,27 @@ loadsmoke:
 	cmp loadsmoke_w1.json loadsmoke_w8.json
 	@echo "loadsmoke: exports byte-identical across worker counts, zero violations"
 	@rm -f loadsmoke_w1.csv loadsmoke_w8.csv loadsmoke_w1.json loadsmoke_w8.json
+
+# chaos-smoke proves the resilience layer's determinism contract: the
+# same chaos sweep, serial and with a worker pool, must produce
+# byte-identical run exports AND byte-identical resilience reports,
+# with the invariant checker armed on every run.
+CHAOSFLAGS := -clients 40 -rates 4,8 -duration 10s -drain 20s -reps 2 -seed 42 \
+	-transport 'wifi=0.3,cell=0.2,mptcp=0.5' \
+	-chaos 'flap:path=wifi;at=2s;dur=400ms;every=2s;n=3'
+chaos-smoke:
+	$(GO) run ./cmd/mptcpload $(CHAOSFLAGS) -workers 1 -o chaos_w1.csv -res-out chaosres_w1.csv
+	$(GO) run ./cmd/mptcpload $(CHAOSFLAGS) -workers 4 -o chaos_w4.csv -res-out chaosres_w4.csv
+	$(GO) run ./cmd/mptcpload $(CHAOSFLAGS) -workers 1 -format json -o chaos_w1.json -res-out chaosres_w1.json
+	$(GO) run ./cmd/mptcpload $(CHAOSFLAGS) -workers 4 -format json -o chaos_w4.json -res-out chaosres_w4.json
+	cmp chaos_w1.csv chaos_w4.csv
+	cmp chaosres_w1.csv chaosres_w4.csv
+	cmp chaos_w1.json chaos_w4.json
+	cmp chaosres_w1.json chaosres_w4.json
+	$(GO) run ./cmd/mptcpchaos -schedule 'outage:path=wifi;at=2s;dur=3s' -size 4MB -seed 61
+	@echo "chaos-smoke: chaos sweep + resilience exports byte-identical across worker counts"
+	@rm -f chaos_w1.csv chaos_w4.csv chaos_w1.json chaos_w4.json \
+		chaosres_w1.csv chaosres_w4.csv chaosres_w1.json chaosres_w4.json
 
 # cover enforces the statement-coverage floor (baseline 72.7% when the
 # gate landed; the floor leaves a little slack for counter drift).

@@ -10,14 +10,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
+	"mptcplab/internal/chaos"
 	"mptcplab/internal/load"
 	"mptcplab/internal/pathmodel"
 	"mptcplab/internal/sim"
@@ -51,19 +55,14 @@ func main() {
 		out       = flag.String("o", "-", "output path ('-' = stdout)")
 		progress  = flag.Bool("progress", false, "print per-run progress to stderr")
 		replay    = flag.String("replay", "", "re-execute one run from an exported replay token and print its summary")
+		chaosSpec = flag.String("chaos", "", "fault schedule: preset (outage|flap|storm|ramp|fade) or spec like 'flap:path=wifi;at=2s;dur=500ms;every=2s;n=5'")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget per run; a run over budget is killed and exported as failed (0 = none)")
+		resOut    = flag.String("res-out", "", "also write the per-run resilience report (CSV or JSON by extension) — chaos runs only")
 	)
 	flag.Parse()
 
 	if *replay != "" {
-		cfg, err := load.ParseReplay(*replay)
-		exitOn(err)
-		applyProfiles(&cfg, *wifiProf, *carrier)
-		res := load.Run(cfg)
-		printSummary(os.Stdout, cfg, res)
-		if res.Violations > 0 {
-			os.Exit(1)
-		}
-		return
+		os.Exit(runReplay(os.Stdout, os.Stderr, *replay, *wifiProf, *carrier, *deadline))
 	}
 
 	base := load.Config{
@@ -88,8 +87,15 @@ func main() {
 	exitOn(err)
 	base.Background, err = parseBackground(*bg)
 	exitOn(err)
+	base.Chaos, err = chaos.Parse(*chaosSpec)
+	exitOn(err)
+	base.Deadline = *deadline
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
 
 	opts := load.SweepOpts{
+		Context: ctx,
 		Base:    base,
 		Rates:   parseFloats(*rates),
 		Clients: parseInts(*fleets),
@@ -107,9 +113,16 @@ func main() {
 	}
 
 	sw := load.RunSweep(opts)
+	stopSignals() // a second Ctrl-C past this point kills the process outright
 	fmt.Fprintf(os.Stderr, "%s: %s wall (%s busy, %d workers), %s events\n",
 		sw.Describe(), sw.WallTime.Round(time.Millisecond),
 		sw.BusyTime.Round(time.Millisecond), sw.Workers, withCommas(sw.TotalEvents))
+	if sw.Cancelled {
+		fmt.Fprintln(os.Stderr, "cancelled — exporting partial results")
+	}
+	if sw.FailedRuns > 0 {
+		fmt.Fprintf(os.Stderr, "FAILED RUNS: %d (exported with fail_reason and replay token)\n", sw.FailedRuns)
+	}
 	if sw.TotalViolations > 0 {
 		fmt.Fprintf(os.Stderr, "PROTOCOL VIOLATIONS: %d, first: %s\n",
 			sw.TotalViolations, sw.FirstViolation)
@@ -127,18 +140,67 @@ func main() {
 		closer()
 	}
 	exitOn(err)
-	if sw.TotalViolations > 0 {
+
+	if *resOut != "" {
+		if base.Chaos.Empty() {
+			exitOn(fmt.Errorf("-res-out needs a fault schedule; pass -chaos"))
+		}
+		rw, rcloser, err := openOut(*resOut)
+		exitOn(err)
+		switch resolveFormat(*format, *resOut) {
+		case "json":
+			err = sw.WriteResilienceJSON(rw, base)
+		default:
+			err = sw.WriteResilienceCSV(rw, base)
+		}
+		if rcloser != nil {
+			rcloser()
+		}
+		exitOn(err)
+	}
+	if sw.TotalViolations > 0 || sw.FailedRuns > 0 {
 		os.Exit(1)
 	}
 }
 
+// runReplay re-executes one exported run from its token and prints a
+// human summary. All failures — malformed tokens included — come back
+// as a one-line error and exit code 1, never a panic.
+func runReplay(w, ew io.Writer, token, wifi, carrier string, deadline time.Duration) int {
+	cfg, err := load.ParseReplay(token)
+	if err != nil {
+		fmt.Fprintf(ew, "bad replay token: %v\n", err)
+		return 1
+	}
+	if err := resolveProfiles(&cfg, wifi, carrier); err != nil {
+		fmt.Fprintln(ew, err)
+		return 1
+	}
+	cfg.Deadline = deadline
+	res := load.Run(cfg)
+	printSummary(w, cfg, res)
+	if res.Failed || res.Violations > 0 {
+		return 1
+	}
+	return 0
+}
+
 // applyProfiles resolves named WiFi and cellular profiles into cfg.
 func applyProfiles(cfg *load.Config, wifi, carrier string) {
+	exitOn(resolveProfiles(cfg, wifi, carrier))
+}
+
+func resolveProfiles(cfg *load.Config, wifi, carrier string) error {
 	wp, err := pathmodel.ByName(wifi)
-	exitOn(err)
+	if err != nil {
+		return err
+	}
 	cp, err := pathmodel.ByName(carrier)
-	exitOn(err)
+	if err != nil {
+		return err
+	}
 	cfg.WiFi, cfg.Cell = wp, cp
+	return nil
 }
 
 // parseBackground reads a "wd=8Mbps,wu=1Mbps,cd=2Mbps,cu=256Kbps" spec;
@@ -242,6 +304,26 @@ func printSummary(w io.Writer, cfg load.Config, res *load.Result) {
 	if res.Violations > 0 {
 		fmt.Fprintf(w, "FIRST VIOLATION: %s\n", res.FirstViolation)
 	}
+	if res.Resilience != nil {
+		printResilience(w, res)
+	}
+	if res.Failed {
+		fmt.Fprintf(w, "RUN FAILED: %s\n", res.FailReason)
+	}
+}
+
+// printResilience renders the chaos monitor's report for a human.
+func printResilience(w io.Writer, res *load.Result) {
+	r := res.Resilience
+	fmt.Fprintf(w, "chaos:      %s\n", res.ChaosSpec)
+	fmt.Fprintf(w, "verdicts:   %d ok, %d late, %d incomplete, %d stalled, %d aborted -> %s\n",
+		r.OK, r.Late, r.Incomplete, r.Stalled, r.Aborted, r.Graceful())
+	fmt.Fprintf(w, "stalls:     %d total, longest %.3fs; %d recoveries (TTR mean %.3fs max %.3fs), %d unrecovered\n",
+		r.TotalStalls, float64(r.LongestStall)/float64(sim.Second),
+		r.TTRAcc.N(), r.TTRAcc.Mean(), r.TTRAcc.Max(), r.Unrecovered)
+	fmt.Fprintf(w, "goodput:    %.2fMbps during faults vs %.2fMbps steady; %d retries, %d timeouts\n",
+		8*r.FaultGoodput()/float64(units.Mbps), 8*r.SteadyGoodput()/float64(units.Mbps),
+		r.Retries, r.Timeouts)
 }
 
 // withCommas renders 1234567 as "1,234,567".

@@ -6,15 +6,18 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
+	"syscall"
 
 	"mptcplab/internal/experiment"
 	"mptcplab/internal/units"
@@ -79,7 +82,15 @@ func main() {
 		}()
 	}
 
-	opts := experiment.CampaignOpts{Reps: *reps, Seed: *seed, SampleProfiles: true, Workers: *workers}
+	// Ctrl-C / SIGTERM drains the campaign workers and still emits
+	// whatever cells completed; a second signal kills the process.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	opts := experiment.CampaignOpts{
+		Reps: *reps, Seed: *seed, SampleProfiles: true, Workers: *workers,
+		Context: ctx,
+	}
 	if *prog {
 		opts.Progress = func(done, total int) {
 			fmt.Fprintf(os.Stderr, "\r%d/%d runs", done, total)
@@ -201,6 +212,7 @@ func main() {
 
 	var matrices []*experiment.Matrix
 	var distribs []experiment.DistributionExport
+	cancelled := false
 	for _, c := range campaigns {
 		var before, after runtime.MemStats
 		runtime.ReadMemStats(&before)
@@ -211,10 +223,19 @@ func main() {
 			c.text(w, m)
 		}
 		speedline(m, after.Mallocs-before.Mallocs)
+		if m.FailedRuns > 0 {
+			fmt.Fprintf(os.Stderr, "%s: %d FAILED RUNS, first: %s\n", m.ID, m.FailedRuns, m.FirstFailure)
+		}
 		if c.distrib {
 			distribs = append(distribs, m.ExportDistributions()...)
 		}
+		if m.Cancelled {
+			cancelled = true
+			fmt.Fprintf(os.Stderr, "%s: cancelled — emitting partial results\n", m.ID)
+			break
+		}
 	}
+	stopSignals()
 
 	switch *format {
 	case "text":
@@ -241,5 +262,8 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "paperbench: unknown format %q\n", *format)
 		os.Exit(2)
+	}
+	if cancelled {
+		os.Exit(130)
 	}
 }

@@ -1,0 +1,194 @@
+package chaos
+
+import (
+	"mptcplab/internal/netem"
+	"mptcplab/internal/pathmodel"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/units"
+)
+
+// Target adapts a topology to the schedule: which links belong to each
+// path, and (optionally) how to withdraw and restore addresses for
+// handover storms. Nil hooks make Storm a link-level no-op; empty link
+// slices make a path's faults no-ops — a schedule never fails at
+// apply time, it just has nothing to bite on.
+type Target struct {
+	WiFi, Cell []*netem.Link
+
+	// Withdraw and Restore implement address-level handover for Storm
+	// events: Withdraw pulls the path's local addresses out of active
+	// connections (REMOVE_ADDR + subflow abort), Restore re-adds them
+	// on a fresh port (ADD_ADDR + join). Both are called at most once
+	// per storm cycle, in simulator context.
+	Withdraw func(Path)
+	Restore  func(Path)
+
+	// OnFault, when non-nil, is told about every fault transition —
+	// the Monitor uses it to place marks, CLIs to narrate.
+	OnFault func(name string, at sim.Time)
+}
+
+func (t Target) links(p Path) []*netem.Link {
+	switch p {
+	case WiFi:
+		return t.WiFi
+	case Cell:
+		return t.Cell
+	default:
+		return append(append([]*netem.Link{}, t.WiFi...), t.Cell...)
+	}
+}
+
+func (t Target) note(name string, at sim.Time) {
+	if t.OnFault != nil {
+		t.OnFault(name, at)
+	}
+}
+
+// Apply schedules every event of the schedule onto the simulator. All
+// timers are laid down up front — application is data-independent, so
+// the same spec always perturbs the run identically.
+func (sc Schedule) Apply(s *sim.Simulator, tgt Target) {
+	for _, e := range sc.Events {
+		e := e
+		switch e.Kind {
+		case Outage:
+			applyOutage(s, tgt, e.Path, e.At, e.Dur, "outage")
+		case Flap:
+			for i := 0; i < e.Count; i++ {
+				applyOutage(s, tgt, e.Path, e.At+sim.Time(i)*e.Every, e.Dur, "flap")
+			}
+		case Storm:
+			applyStorm(s, tgt, e)
+		case Ramp, Fade:
+			applyShaped(s, tgt, e)
+		}
+	}
+}
+
+func applyOutage(s *sim.Simulator, tgt Target, p Path, at, dur sim.Time, name string) {
+	s.At(at, "chaos-"+name+"-down", func() {
+		tgt.note(name+"-"+p.String()+"-down", at)
+		for _, l := range tgt.links(p) {
+			l.SetDown(true)
+		}
+	})
+	s.At(at+dur, "chaos-"+name+"-up", func() {
+		tgt.note(name+"-"+p.String()+"-up", at+dur)
+		for _, l := range tgt.links(p) {
+			l.SetUp()
+		}
+	})
+}
+
+// applyStorm alternates Withdraw and Restore across the window: the
+// address leaves at each cycle start and returns halfway through it,
+// with a final Restore at window end so the path is always handed
+// back.
+func applyStorm(s *sim.Simulator, tgt Target, e Event) {
+	for at := e.At; at < e.At+e.Dur; at += e.Every {
+		at := at
+		s.At(at, "chaos-storm-withdraw", func() {
+			tgt.note("storm-"+e.Path.String()+"-withdraw", at)
+			if tgt.Withdraw != nil {
+				tgt.Withdraw(e.Path)
+			}
+		})
+		back := at + e.Every/2
+		s.At(back, "chaos-storm-restore", func() {
+			tgt.note("storm-"+e.Path.String()+"-restore", back)
+			if tgt.Restore != nil {
+				tgt.Restore(e.Path)
+			}
+		})
+	}
+}
+
+// shapeState snapshots a link's nominal parameters the moment shaping
+// begins, so every step scales from nominal (not from the previous
+// step) and the end of the window restores exactly.
+type shapeState struct {
+	link      *netem.Link
+	rate      float64
+	propDelay sim.Time
+	loss      netem.LossModel
+}
+
+func snapshot(links []*netem.Link) []shapeState {
+	ss := make([]shapeState, len(links))
+	for i, l := range links {
+		ss[i] = shapeState{link: l, rate: float64(l.Rate), propDelay: l.PropDelay, loss: l.Loss}
+	}
+	return ss
+}
+
+func (st shapeState) apply(rateScale, loss float64, extraDelay sim.Time) {
+	if rateScale < 0.01 {
+		rateScale = 0.01 // a shaped link never fully blackholes; that's Outage's job
+	}
+	st.link.Rate = units.BitRate(st.rate * rateScale)
+	st.link.PropDelay = st.propDelay + extraDelay
+	if loss > 0 {
+		st.link.Loss = overlayLoss{base: st.loss, p: loss}
+	} else {
+		st.link.Loss = st.loss
+	}
+}
+
+func (st shapeState) restore() {
+	st.link.Rate = units.BitRate(st.rate)
+	st.link.PropDelay = st.propDelay
+	st.link.Loss = st.loss
+}
+
+// applyShaped drives Ramp (linear degradation, abrupt recovery) and
+// Fade (raised-cosine dip and symmetric recovery) as Steps discrete
+// parameter updates across the window.
+func applyShaped(s *sim.Simulator, tgt Target, e Event) {
+	var ss []shapeState
+	step := e.Dur / sim.Time(e.Steps)
+	for i := 0; i <= e.Steps; i++ {
+		i := i
+		at := e.At + sim.Time(i)*step
+		s.At(at, "chaos-"+e.Kind.String(), func() {
+			if ss == nil {
+				ss = snapshot(tgt.links(e.Path))
+				tgt.note(e.Kind.String()+"-"+e.Path.String()+"-start", at)
+			}
+			if i == e.Steps {
+				for _, st := range ss {
+					st.restore()
+				}
+				tgt.note(e.Kind.String()+"-"+e.Path.String()+"-end", at)
+				return
+			}
+			frac := float64(i) / float64(e.Steps)
+			var scale, loss float64
+			var delay sim.Time
+			if e.Kind == Fade {
+				scale, loss = pathmodel.SignalFade(frac, e.Depth)
+			} else {
+				scale = 1 - e.Depth*frac
+				loss = e.Loss * frac
+				delay = sim.Time(float64(e.ExtraDelay) * frac)
+			}
+			for _, st := range ss {
+				st.apply(scale, loss, delay)
+			}
+		})
+	}
+}
+
+// overlayLoss adds independent random loss on top of whatever loss
+// model the link already had.
+type overlayLoss struct {
+	base netem.LossModel
+	p    float64
+}
+
+// Drop consults the base model first so its internal state (e.g. a
+// Gilbert-Elliott chain) keeps advancing through the fault.
+func (o overlayLoss) Drop(rng *sim.RNG) bool {
+	dropped := o.base != nil && o.base.Drop(rng)
+	return rng.Bool(o.p) || dropped
+}

@@ -1,0 +1,67 @@
+package chaos
+
+// ReportExport is the flat, serializable form of a resilience Report —
+// one record per run, appended to the sweep's export row. Everything
+// here derives from virtual time, so equal seeds and specs export
+// byte-identically regardless of worker count or wall clock.
+type ReportExport struct {
+	Schedule string `json:"chaos"`
+
+	Flows      int `json:"res_flows"`
+	OK         int `json:"res_ok"`
+	Late       int `json:"res_late"`
+	Incomplete int `json:"res_incomplete"`
+	Stalled    int `json:"res_stalled"`
+	Aborted    int `json:"res_aborted"`
+
+	Stalls        int     `json:"res_stalls"`
+	LongestStallS float64 `json:"res_longest_stall_s"`
+	StallMeanS    float64 `json:"res_stall_s_mean"`
+
+	Recoveries  int     `json:"res_recoveries"`
+	Unrecovered int     `json:"res_unrecovered"`
+	TTRMeanS    float64 `json:"res_ttr_s_mean"`
+	TTRMaxS     float64 `json:"res_ttr_s_max"`
+
+	FaultBytes  int64   `json:"res_fault_bytes"`
+	SteadyBytes int64   `json:"res_steady_bytes"`
+	FaultBps    float64 `json:"res_fault_bps"`
+	SteadyBps   float64 `json:"res_steady_bps"`
+
+	Retries  int `json:"res_retries"`
+	Timeouts int `json:"res_timeouts"`
+
+	Graceful string `json:"res_graceful"`
+}
+
+// Export flattens the report for one run under the given spec.
+func (r *Report) Export(spec string) ReportExport {
+	e := ReportExport{
+		Schedule:      spec,
+		Flows:         len(r.Flows),
+		OK:            r.OK,
+		Late:          r.Late,
+		Incomplete:    r.Incomplete,
+		Stalled:       r.Stalled,
+		Aborted:       r.Aborted,
+		Stalls:        r.TotalStalls,
+		LongestStallS: r.LongestStall.Seconds(),
+		Recoveries:    int(r.TTRAcc.N()),
+		Unrecovered:   r.Unrecovered,
+		FaultBytes:    r.FaultBytes,
+		SteadyBytes:   r.SteadyBytes,
+		FaultBps:      8 * r.FaultGoodput(),
+		SteadyBps:     8 * r.SteadyGoodput(),
+		Retries:       r.Retries,
+		Timeouts:      r.Timeouts,
+		Graceful:      r.Graceful(),
+	}
+	if r.StallAcc.N() > 0 {
+		e.StallMeanS = r.StallAcc.Mean()
+	}
+	if r.TTRAcc.N() > 0 {
+		e.TTRMeanS = r.TTRAcc.Mean()
+		e.TTRMaxS = r.TTRAcc.Max()
+	}
+	return e
+}

@@ -1,0 +1,427 @@
+package chaos
+
+import (
+	"mptcplab/internal/sim"
+	"mptcplab/internal/stats"
+)
+
+// Verdict classifies how one flow weathered the schedule.
+type Verdict int
+
+// Per-flow outcomes, from best to worst.
+const (
+	// VerdictOK: completed without ever stalling.
+	VerdictOK Verdict = iota
+	// VerdictLate: completed, but with at least one stall span —
+	// degraded gracefully.
+	VerdictLate
+	// VerdictIncomplete: still making progress when the run ended.
+	VerdictIncomplete
+	// VerdictStalled: never completed and was not progressing at the
+	// end — stalled forever as far as this run can tell.
+	VerdictStalled
+	// VerdictAborted: the application or harness gave up on the flow.
+	VerdictAborted
+)
+
+// String names the verdict for exports.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictOK:
+		return "ok"
+	case VerdictLate:
+		return "late"
+	case VerdictIncomplete:
+		return "incomplete"
+	case VerdictStalled:
+		return "stalled"
+	case VerdictAborted:
+		return "aborted"
+	default:
+		return "unknown"
+	}
+}
+
+// Monitor samples per-flow progress counters on a fixed virtual-time
+// tick and scores each flow against the schedule's fault windows.
+// Everything it records is in simulator time, so reports are exactly
+// reproducible. Stall spans and recovery times are quantized to the
+// sampling period.
+type Monitor struct {
+	// Period is the sampling tick (default 50 ms).
+	Period sim.Time
+	// StallAfter is how long a flow must go without progress before a
+	// stall span opens (default 1 s).
+	StallAfter sim.Time
+	// TimeoutAfter is the no-progress span counted as an app-level
+	// timeout (default 5 s); each crossing increments Timeouts once.
+	TimeoutAfter sim.Time
+
+	sim     *sim.Simulator
+	windows []Window
+	flows   []*Tracked
+	marks   []Mark
+	closed  bool
+}
+
+// Mark is one fault transition the schedule reported via OnFault.
+type Mark struct {
+	Name string
+	At   sim.Time
+}
+
+// NewMonitor builds a monitor for one run of the schedule and starts
+// its sampling tick. The tick re-arms itself until Finish, so drive
+// the simulator with RunUntil/RunFor (Run would never drain).
+func NewMonitor(s *sim.Simulator, sc Schedule) *Monitor {
+	m := &Monitor{
+		Period:       50 * sim.Millisecond,
+		StallAfter:   sim.Second,
+		TimeoutAfter: 5 * sim.Second,
+		sim:          s,
+		windows:      sc.Windows(),
+	}
+	s.After(m.Period, "chaos-monitor", m.tick)
+	return m
+}
+
+// OnFault records a fault transition; pass it as (or call it from)
+// Target.OnFault.
+func (m *Monitor) OnFault(name string, at sim.Time) {
+	m.marks = append(m.marks, Mark{Name: name, At: at})
+}
+
+// Track registers a flow. progress must return a monotone byte count
+// (e.g. web.Getter.BytesReceived); it is polled every Period until
+// Done or Abort.
+func (m *Monitor) Track(label string, progress func() int64) *Tracked {
+	tr := &Tracked{
+		m: m, Label: label, progress: progress,
+		started: m.sim.Now(), lastChange: m.sim.Now(),
+		endAt: -1,
+		recov: make([]sim.Time, len(m.windows)),
+	}
+	for i := range tr.recov {
+		tr.recov[i] = ttrPending
+	}
+	// Windows fully before this flow's start never disrupted it.
+	for i, w := range m.windows {
+		if w.End <= tr.started {
+			tr.recov[i] = ttrNA
+		}
+	}
+	m.flows = append(m.flows, tr)
+	return tr
+}
+
+// Tracked is the monitor's per-flow state.
+type Tracked struct {
+	m        *Monitor
+	Label    string
+	progress func() int64
+
+	started    sim.Time
+	endAt      sim.Time // -1 while running
+	last       int64
+	lastChange sim.Time
+
+	stalled      bool
+	stallStart   sim.Time
+	stalls       int
+	stallTime    sim.Time
+	longestStall sim.Time
+	timedOut     bool
+	timeouts     int
+	retries      int
+
+	faultBytes int64
+	faultDur   sim.Time
+	steadyDur  sim.Time
+
+	completed bool
+	aborted   bool
+	recov     []sim.Time
+}
+
+// Sentinels in Tracked.recov.
+const (
+	ttrPending sim.Time = -1 // window passed (or pending), no recovery seen yet
+	ttrNA      sim.Time = -2 // window outside the flow's lifetime
+)
+
+// Retry records an application-level retry against this flow.
+func (t *Tracked) Retry() { t.retries++ }
+
+// Done marks the flow finished. completed distinguishes a transfer
+// that delivered all its bytes from one cut off by the run ending.
+func (t *Tracked) Done(completed bool) {
+	if t.endAt >= 0 {
+		return
+	}
+	t.observe(t.m.sim.Now())
+	t.endAt = t.m.sim.Now()
+	t.completed = completed
+	t.closeStall(t.endAt)
+	for i, w := range t.m.windows {
+		if t.recov[i] == ttrPending && w.Start >= t.endAt {
+			t.recov[i] = ttrNA // the flow was gone before this fault hit
+		}
+	}
+}
+
+// Abort marks the flow given up on (application or harness decision).
+func (t *Tracked) Abort() {
+	if t.endAt >= 0 {
+		return
+	}
+	t.Done(false)
+	t.aborted = true
+}
+
+// observe folds one progress sample at virtual time now into the
+// flow's accounting.
+func (t *Tracked) observe(now sim.Time) {
+	cur := t.progress()
+	delta := cur - t.last
+	t.last = cur
+
+	inFault := false
+	for _, w := range t.m.windows {
+		if now >= w.Start && now < w.End {
+			inFault = true
+			break
+		}
+	}
+	if inFault {
+		t.faultBytes += delta
+		t.faultDur += t.m.Period
+	} else {
+		t.steadyDur += t.m.Period
+	}
+
+	if delta > 0 {
+		// Progress: close any open stall span and credit recovery to
+		// every fault window already behind us.
+		t.closeStall(now)
+		t.lastChange = now
+		for i, w := range t.m.windows {
+			if t.recov[i] == ttrPending && now >= w.End {
+				t.recov[i] = now - w.End
+			}
+		}
+		return
+	}
+	idle := now - t.lastChange
+	if !t.stalled && idle >= t.m.StallAfter {
+		t.stalled = true
+		t.stallStart = t.lastChange
+		t.stalls++
+	}
+	if !t.timedOut && idle >= t.m.TimeoutAfter {
+		t.timedOut = true
+		t.timeouts++
+	}
+}
+
+func (t *Tracked) closeStall(now sim.Time) {
+	if !t.stalled {
+		return
+	}
+	span := now - t.stallStart
+	t.stallTime += span
+	if span > t.longestStall {
+		t.longestStall = span
+	}
+	t.stalled = false
+	t.timedOut = false
+}
+
+// verdict scores the flow once the run is over.
+func (t *Tracked) verdict() Verdict {
+	switch {
+	case t.aborted:
+		return VerdictAborted
+	case t.completed && t.stalls == 0:
+		return VerdictOK
+	case t.completed:
+		return VerdictLate
+	case t.stalled:
+		return VerdictStalled
+	default:
+		return VerdictIncomplete
+	}
+}
+
+func (m *Monitor) tick() {
+	if m.closed {
+		return
+	}
+	now := m.sim.Now()
+	for _, t := range m.flows {
+		if t.endAt < 0 {
+			t.observe(now)
+		}
+	}
+	m.sim.After(m.Period, "chaos-monitor", m.tick)
+}
+
+// Finish stops sampling, finalizes every still-running flow's state at
+// the current virtual time, and builds the resilience report.
+func (m *Monitor) Finish() *Report {
+	m.closed = true
+	now := m.sim.Now()
+	r := &Report{Windows: m.windows, Marks: m.marks}
+	for _, t := range m.flows {
+		if t.endAt < 0 {
+			t.observe(now)
+			// Leave endAt unset: the verdict distinguishes stalled
+			// from still-progressing via the open stall state.
+			if t.stalled {
+				// The span is still open; account it through now.
+				t.closeStall(now)
+				t.stalled = true
+			}
+		}
+		fr := FlowReport{
+			Label:        t.Label,
+			Verdict:      t.verdict(),
+			Stalls:       t.stalls,
+			StallTime:    t.stallTime,
+			LongestStall: t.longestStall,
+			FaultBytes:   t.faultBytes,
+			SteadyBytes:  t.last - t.faultBytes,
+			FaultDur:     t.faultDur,
+			SteadyDur:    t.steadyDur,
+			Retries:      t.retries,
+			Timeouts:     t.timeouts,
+			TTR:          t.recov,
+		}
+		r.absorb(fr)
+	}
+	r.finish()
+	return r
+}
+
+// FlowReport is the per-flow resilience record.
+type FlowReport struct {
+	Label        string
+	Verdict      Verdict
+	Stalls       int
+	StallTime    sim.Time
+	LongestStall sim.Time
+	FaultBytes   int64
+	SteadyBytes  int64
+	FaultDur     sim.Time
+	SteadyDur    sim.Time
+	Retries      int
+	Timeouts     int
+	// TTR holds, per schedule window, the delay between the fault
+	// clearing and this flow's first progress afterwards (quantized to
+	// the sampling period); ttrPending (-1) if it never recovered,
+	// ttrNA (-2) if the window missed the flow's lifetime.
+	TTR []sim.Time
+}
+
+// Recovered reports the usable TTR samples, in seconds.
+func (fr FlowReport) Recovered() []float64 {
+	var out []float64
+	for _, t := range fr.TTR {
+		if t >= 0 {
+			out = append(out, t.Seconds())
+		}
+	}
+	return out
+}
+
+// Report aggregates resilience over every tracked flow of one run.
+// Per-flow records are kept (experiments have one; fleet runs
+// thousands — bounded, since flows are already bounded per run).
+type Report struct {
+	Windows []Window
+	Marks   []Mark
+	Flows   []FlowReport
+
+	OK, Late, Incomplete, Stalled, Aborted int
+
+	TotalStalls  int
+	LongestStall sim.Time
+	StallAcc     stats.Acc // per-flow total stall seconds
+	TTRAcc       stats.Acc // per-recovery seconds
+	Unrecovered  int       // fault windows a flow never recovered from
+
+	FaultBytes, SteadyBytes int64
+	FaultDur, SteadyDur     sim.Time
+
+	Retries, Timeouts int
+}
+
+func (r *Report) absorb(fr FlowReport) {
+	r.Flows = append(r.Flows, fr)
+	switch fr.Verdict {
+	case VerdictOK:
+		r.OK++
+	case VerdictLate:
+		r.Late++
+	case VerdictIncomplete:
+		r.Incomplete++
+	case VerdictStalled:
+		r.Stalled++
+	case VerdictAborted:
+		r.Aborted++
+	}
+	r.TotalStalls += fr.Stalls
+	if fr.LongestStall > r.LongestStall {
+		r.LongestStall = fr.LongestStall
+	}
+	if fr.StallTime > 0 {
+		r.StallAcc.Add(fr.StallTime.Seconds())
+	}
+	for _, t := range fr.TTR {
+		switch {
+		case t >= 0:
+			r.TTRAcc.Add(t.Seconds())
+		case t == ttrPending:
+			r.Unrecovered++
+		}
+	}
+	r.FaultBytes += fr.FaultBytes
+	r.SteadyBytes += fr.SteadyBytes
+	r.FaultDur += fr.FaultDur
+	r.SteadyDur += fr.SteadyDur
+	r.Retries += fr.Retries
+	r.Timeouts += fr.Timeouts
+}
+
+func (r *Report) finish() {}
+
+// FaultGoodput is the aggregate bytes/sec flows managed inside fault
+// windows; SteadyGoodput the same outside them.
+func (r *Report) FaultGoodput() float64 {
+	if r.FaultDur <= 0 {
+		return 0
+	}
+	return float64(r.FaultBytes) / r.FaultDur.Seconds()
+}
+
+// SteadyGoodput reports bytes/sec outside fault windows.
+func (r *Report) SteadyGoodput() float64 {
+	if r.SteadyDur <= 0 {
+		return 0
+	}
+	return float64(r.SteadyBytes) / r.SteadyDur.Seconds()
+}
+
+// Graceful renders the run's degrade-gracefully verdict: "graceful"
+// when every flow completed (on time or late), "degraded" when some
+// were cut off but nothing wedged, "failed" when any flow stalled
+// forever or was aborted.
+func (r *Report) Graceful() string {
+	switch {
+	case r.Stalled > 0 || r.Aborted > 0:
+		return "failed"
+	case r.Incomplete > 0:
+		return "degraded"
+	default:
+		return "graceful"
+	}
+}

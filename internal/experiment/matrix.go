@@ -1,11 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"mptcplab/internal/chaos"
 	"mptcplab/internal/pathmodel"
 	"mptcplab/internal/sim"
 	"mptcplab/internal/stats"
@@ -94,6 +97,18 @@ type Matrix struct {
 	// one seen. Execution metadata, excluded from exports.
 	TotalViolations int
 	FirstViolation  string
+
+	// FailedRuns counts runs the harness contained — a panic inside the
+	// run or a watchdog kill — each of which lands in its cell as a
+	// failure instead of tearing down the campaign. FirstFailure is the
+	// earliest reason, one line. Execution metadata, excluded from
+	// exports.
+	FailedRuns   int
+	FirstFailure string
+
+	// Cancelled reports the campaign stopped early via
+	// CampaignOpts.Context; cells hold only the runs that finished.
+	Cancelled bool
 }
 
 // MatrixRow is one configuration's cells across the sizes.
@@ -164,6 +179,16 @@ type CampaignOpts struct {
 	// nondeterministic; only done increasing by exactly one per call,
 	// from 1 to total, is guaranteed.
 	Progress func(done, total int)
+
+	// Context, when non-nil, cancels the campaign: workers finish the
+	// run they are on, stop claiming new jobs, and runMatrix returns
+	// with Matrix.Cancelled set and only the completed runs absorbed —
+	// a Ctrl-C mid-campaign still yields exportable partial results.
+	Context context.Context
+}
+
+func (o CampaignOpts) cancelled() bool {
+	return o.Context != nil && o.Context.Err() != nil
 }
 
 func (o CampaignOpts) reps() int {
@@ -235,21 +260,34 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 	// runJob executes one job on a private testbed. It only reads the
 	// (frozen) rows, cells, and jobs slices, so any number of runJob
 	// calls may proceed concurrently.
+	// runJob executes one job on a private testbed, inside a containment
+	// boundary: a panic anywhere in the run becomes a failed-run result
+	// (one-line reason, no stack) instead of killing the worker and
+	// tearing down the campaign.
 	runJob := func(j matrixJob) RunResult {
 		t0 := time.Now()
 		row := rows[j.row]
 		cell := m.Rows[j.row].Cells[j.col]
-		tb := NewTestbed(TestbedConfig{
-			WiFi:              row.WiFi,
-			Cell:              row.Cell,
-			ServerSecondIface: cell.Config.Transport == MP4,
-			SampleProfiles:    opts.SampleProfiles,
-			UsePeriod:         opts.Periods,
-			Period:            pathmodel.AllPeriods[j.rep%len(pathmodel.AllPeriods)],
-			WarmRadio:         true,
-			Seed:              jobSeed(opts.Seed, j.row, j.col, j.rep),
-		})
-		res := tb.Run(cell.Config)
+		var res RunResult
+		if err := chaos.Contain(func() {
+			tb := NewTestbed(TestbedConfig{
+				WiFi:              row.WiFi,
+				Cell:              row.Cell,
+				ServerSecondIface: cell.Config.Transport == MP4,
+				SampleProfiles:    opts.SampleProfiles,
+				UsePeriod:         opts.Periods,
+				Period:            pathmodel.AllPeriods[j.rep%len(pathmodel.AllPeriods)],
+				WarmRadio:         true,
+				Seed:              jobSeed(opts.Seed, j.row, j.col, j.rep),
+			})
+			if testMatrixHook != nil {
+				testMatrixHook(tb)
+			}
+			res = tb.Run(cell.Config)
+		}); err != nil {
+			res = RunResult{}
+			res.FailReason, _, _ = strings.Cut(err.Error(), "\n")
+		}
 		busy.Add(int64(time.Since(t0)))
 		return res
 	}
@@ -257,6 +295,9 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 	if m.Workers <= 1 {
 		// Legacy serial path: absorb each result as it lands.
 		for k, j := range jobs {
+			if opts.cancelled() {
+				break
+			}
 			res := runJob(j)
 			m.TotalEvents += res.Events
 			m.absorbViolations(res)
@@ -267,6 +308,7 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 		}
 	} else {
 		results := make([]RunResult, len(jobs))
+		executed := make([]bool, len(jobs))
 		var next atomic.Int64
 		next.Store(-1)
 		var (
@@ -279,11 +321,15 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 			go func() {
 				defer wg.Done()
 				for {
+					if opts.cancelled() {
+						return
+					}
 					k := int(next.Add(1))
 					if k >= len(jobs) {
 						return
 					}
 					results[k] = runJob(jobs[k])
+					executed[k] = true
 					if opts.Progress != nil {
 						progressMu.Lock()
 						done++
@@ -294,23 +340,43 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 			}()
 		}
 		wg.Wait()
+		// Absorb in fixed job order, skipping runs cancellation left
+		// unexecuted — partial campaigns stay deterministic prefixes of
+		// what the absorbed jobs would have produced.
 		for k, j := range jobs {
+			if !executed[k] {
+				continue
+			}
 			m.TotalEvents += results[k].Events
 			m.absorbViolations(results[k])
 			m.Rows[j.row].Cells[j.col].absorb(results[k])
 		}
 	}
+	m.Cancelled = opts.cancelled()
 
 	m.BusyTime = time.Duration(busy.Load())
 	m.WallTime = time.Since(start)
 	return m
 }
 
-// absorbViolations accumulates a run's self-check findings into the
-// campaign metadata (absorbed in deterministic job order, like cells).
+// absorbViolations accumulates a run's self-check findings and harness
+// failures into the campaign metadata (absorbed in deterministic job
+// order, like cells).
 func (m *Matrix) absorbViolations(res RunResult) {
 	m.TotalViolations += res.Violations
 	if m.FirstViolation == "" {
 		m.FirstViolation = res.FirstViolation
 	}
+	if res.FailReason != "" {
+		m.FailedRuns++
+		if m.FirstFailure == "" {
+			m.FirstFailure = res.FailReason
+		}
+	}
 }
+
+// testMatrixHook, when non-nil, runs after each job's testbed is built
+// and before its run starts — containment tests use it to sabotage one
+// specific run (by testbed seed) and prove the campaign survives. It
+// is written only before a campaign starts.
+var testMatrixHook func(*Testbed)

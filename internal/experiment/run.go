@@ -2,8 +2,11 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
+	"time"
 
 	"mptcplab/internal/cc"
+	"mptcplab/internal/chaos"
 	"mptcplab/internal/check"
 	"mptcplab/internal/mptcp"
 	"mptcplab/internal/netem"
@@ -67,6 +70,18 @@ type RunConfig struct {
 	// directions) — the §6 mobility scenario. Zero values disable it.
 	WiFiOutageStart, WiFiOutageEnd sim.Time
 
+	// Chaos applies a declarative fault schedule (flaps, ramps, fades,
+	// handover storms) to the run and produces a resilience report in
+	// RunResult.Resilience. Deterministic: the schedule runs on virtual
+	// time and the same seed reproduces it exactly.
+	Chaos chaos.Schedule
+
+	// Deadline caps the run's host wall-clock time (0 = none). It is an
+	// execution policy, not part of the modeled experiment: a tripped
+	// deadline marks the run failed, and the knob never appears in
+	// exports or replay identity.
+	Deadline time.Duration
+
 	// Timeout caps the simulated duration (default 30 virtual
 	// minutes).
 	Timeout sim.Time
@@ -114,6 +129,17 @@ type RunResult struct {
 	// from campaign exports.
 	Violations     int
 	FirstViolation string
+
+	// FailReason is set when the harness killed the run (watchdog
+	// deadline or livelock detection): one line, no stack. A failed run
+	// also reports Completed=false. Execution metadata, excluded from
+	// campaign exports.
+	FailReason string
+
+	// Resilience is the chaos monitor's report for runs with a Chaos
+	// schedule (nil otherwise). Excluded from campaign exports — the
+	// chaos CLI renders it directly.
+	Resilience *chaos.Report
 }
 
 // CellShare reports the fraction of data bytes the server sent over
@@ -203,6 +229,17 @@ func (tb *Testbed) Run(rc RunConfig) RunResult {
 			tb.WiFiDown.SetDown(false)
 		})
 	}
+	if !rc.Chaos.Empty() {
+		tb.mon = chaos.NewMonitor(tb.Sim, rc.Chaos)
+		rc.Chaos.Apply(tb.Sim, chaos.Target{
+			WiFi:     []*netem.Link{tb.WiFiUp, tb.WiFiDown},
+			Cell:     []*netem.Link{tb.CellUp, tb.CellDown},
+			Withdraw: tb.withdrawPath,
+			Restore:  tb.restorePath,
+			OnFault:  tb.mon.OnFault,
+		})
+	}
+	chaos.ArmWatchdog(tb.Sim, rc.Deadline)
 	var ck *check.Checker
 	if rc.SelfCheck {
 		ck = check.New(tb.Sim)
@@ -260,10 +297,14 @@ func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time, ck *check.Checker) RunR
 		ck.WatchEndpoint("client", clientEP)
 	}
 	getter := web.NewGetter(web.TCPStream{EP: clientEP})
+	tracked := tb.track(func() int64 { return getter.BytesReceived })
 
 	var done sim.Time = -1
 	getter.Get(int(rc.Size), func() {
 		done = tb.Sim.Now()
+		if tracked != nil {
+			tracked.Done(true)
+		}
 		getter.Close()
 		tb.Sim.Stop()
 	})
@@ -272,6 +313,7 @@ func (tb *Testbed) runSP(rc RunConfig, timeout sim.Time, ck *check.Checker) RunR
 
 	tb.Sim.RunUntil(start + timeout)
 	res.Events = tb.Sim.Processed()
+	tb.finishChaos(&res, tracked)
 	finishCheck(ck, &res)
 	if done < 0 {
 		return res
@@ -316,6 +358,7 @@ func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time, ck *check.Checker) RunR
 	}
 	start := tb.Sim.Now()
 	conn := mptcp.Dial(tb.Net, tb.Client, opts, tb.RNG.Child("cli"))
+	tb.clientConn = conn
 	if ck != nil {
 		ck.WatchConn("client", conn)
 	}
@@ -323,15 +366,20 @@ func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time, ck *check.Checker) RunR
 		res.OFOms = append(res.OFOms, d.Milliseconds())
 	}
 	getter := web.NewGetter(web.MPTCPStream{Conn: conn})
+	tracked := tb.track(func() int64 { return getter.BytesReceived })
 	var done sim.Time = -1
 	getter.Get(int(rc.Size), func() {
 		done = tb.Sim.Now()
+		if tracked != nil {
+			tracked.Done(true)
+		}
 		getter.Close()
 		tb.Sim.Stop()
 	})
 
 	tb.Sim.RunUntil(start + timeout)
 	res.Events = tb.Sim.Processed()
+	tb.finishChaos(&res, tracked)
 	if ck != nil && serverConn != nil {
 		ck.CheckTransfer("download", serverConn, conn, done >= 0)
 	}
@@ -388,4 +436,90 @@ func (rc RunConfig) Describe() string {
 		name = fmt.Sprintf("%s (%s)", name, ctrl)
 	}
 	return fmt.Sprintf("%s %v", name, rc.Size)
+}
+
+// track registers the download with the chaos monitor, when one is
+// armed; returns nil otherwise.
+func (tb *Testbed) track(progress func() int64) *chaos.Tracked {
+	if tb.mon == nil {
+		return nil
+	}
+	return tb.mon.Track("download", progress)
+}
+
+// finishChaos folds watchdog aborts and the resilience report into the
+// result after the simulation loop returns. Only the error's first
+// line is kept: failure reasons appear in deterministic artifacts.
+func (tb *Testbed) finishChaos(res *RunResult, tracked *chaos.Tracked) {
+	if err := tb.Sim.AbortErr(); err != nil {
+		res.FailReason, _, _ = strings.Cut(err.Error(), "\n")
+		if tracked != nil {
+			tracked.Abort()
+		}
+	}
+	if tb.mon != nil {
+		res.Resilience = tb.mon.Finish()
+	}
+}
+
+// onPath reports whether a client address rides the given chaos path.
+func (tb *Testbed) onPath(a seg.Addr, p chaos.Path) bool {
+	return p == chaos.Both || tb.IsCellIP(a) == (p == chaos.Cell)
+}
+
+// withdrawPath implements chaos.Target.Withdraw for handover storms:
+// every live client address on the path is withdrawn from the MPTCP
+// connection (REMOVE_ADDR + subflow teardown + reinjection). A no-op
+// for single-path runs, which have no address agility to disrupt.
+func (tb *Testbed) withdrawPath(p chaos.Path) {
+	c := tb.clientConn
+	if c == nil {
+		return
+	}
+	seen := map[seg.Addr]bool{}
+	for _, sf := range c.Subflows() {
+		local := sf.EP.Local
+		if seen[local] || !tb.onPath(local, p) || sf.EP.State() == tcp.StateClosed {
+			continue
+		}
+		seen[local] = true
+		c.RemoveLocalAddr(local)
+	}
+}
+
+// restorePath implements chaos.Target.Restore: if the connection has
+// no live subflow on the path, rejoin through it on a fresh port
+// (reusing the withdrawn 4-tuple would race a stale server endpoint
+// whose teardown RST was lost during the disruption).
+func (tb *Testbed) restorePath(p chaos.Path) {
+	c := tb.clientConn
+	if c == nil || !c.Established() {
+		return
+	}
+	if (p == chaos.WiFi || p == chaos.Both) && !tb.hasLive(c, false) {
+		c.RejoinLocalAddr(tb.freshAddr(ClientWiFiIP))
+	}
+	if (p == chaos.Cell || p == chaos.Both) && !tb.hasLive(c, true) {
+		c.RejoinLocalAddr(tb.freshAddr(ClientCellIP))
+	}
+}
+
+// hasLive reports whether the connection still has a non-closed
+// subflow on the given path.
+func (tb *Testbed) hasLive(c *mptcp.Conn, cell bool) bool {
+	for _, sf := range c.Subflows() {
+		if tb.IsCellIP(sf.EP.Local) == cell && sf.EP.State() != tcp.StateClosed {
+			return true
+		}
+	}
+	return false
+}
+
+// freshAddr allocates a never-used client port on the interface.
+func (tb *Testbed) freshAddr(ip string) seg.Addr {
+	if tb.nextPort == 0 {
+		tb.nextPort = 41000
+	}
+	tb.nextPort++
+	return seg.MakeAddr(ip, tb.nextPort)
 }

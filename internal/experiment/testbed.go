@@ -6,6 +6,8 @@
 package experiment
 
 import (
+	"mptcplab/internal/chaos"
+	"mptcplab/internal/mptcp"
 	"mptcplab/internal/netem"
 	"mptcplab/internal/pathmodel"
 	"mptcplab/internal/seg"
@@ -62,6 +64,14 @@ type Testbed struct {
 	CellRadio        *netem.Radio
 
 	cfg TestbedConfig
+
+	// Chaos wiring, populated by Run when the config has a schedule:
+	// the monitor scores resilience, clientConn is the live MPTCP
+	// connection handover storms act on, nextPort allocates the fresh
+	// client ports rejoins require.
+	mon        *chaos.Monitor
+	clientConn *mptcp.Conn
+	nextPort   uint16
 }
 
 // NewTestbed builds the Figure 1 topology: the client's WiFi and

@@ -2,10 +2,14 @@ package load
 
 import (
 	"fmt"
+	"sort"
+	"time"
 
 	"mptcplab/internal/cc"
+	"mptcplab/internal/chaos"
 	"mptcplab/internal/check"
 	"mptcplab/internal/mptcp"
+	"mptcplab/internal/netem"
 	"mptcplab/internal/pathmodel"
 	"mptcplab/internal/seg"
 	"mptcplab/internal/sim"
@@ -55,6 +59,19 @@ type Config struct {
 
 	// Background cross-traffic through the shared bottlenecks.
 	Background Background
+
+	// Chaos, when non-empty, applies a deterministic fault schedule to
+	// the shared access links (and, for storms, the fleet's MPTCP
+	// addresses) and collects a resilience report in Result.Resilience.
+	// The schedule spec is part of the replay token.
+	Chaos chaos.Schedule
+
+	// Deadline is a per-run wall-clock budget (0 = none): a run burning
+	// more real time than this is killed by the watchdog and reported
+	// as a failed run. Wall-clock kills are inherently nondeterministic,
+	// so Deadline is execution policy, not configuration — it is NOT
+	// part of the replay token. Livelock detection is always armed.
+	Deadline time.Duration
 
 	// Seed drives every random stream of the run.
 	Seed int64
@@ -113,8 +130,9 @@ type flow struct {
 	start     sim.Time
 	session   int // closed-loop session index, -1 for open-loop
 
-	client *Client
-	getter *web.Getter
+	client  *Client
+	getter  *web.Getter
+	tracked *chaos.Tracked
 
 	// Client- and server-side stack handles for accounting/teardown.
 	clientEP   *tcp.Endpoint
@@ -130,6 +148,7 @@ type fleet struct {
 	s    *sim.Simulator
 	ck   *check.Checker
 	res  *Result
+	mon  *chaos.Monitor
 
 	tcpCfg   tcp.Config
 	mpCfg    mptcp.Config
@@ -190,6 +209,18 @@ func runFleet(cfg Config) (*Result, *fleet) {
 		f.ck.ArmProbes(cfg.ProbeEvery)
 	}
 
+	if !cfg.Chaos.Empty() {
+		f.mon = chaos.NewMonitor(s, cfg.Chaos)
+		cfg.Chaos.Apply(s, chaos.Target{
+			WiFi:     []*netem.Link{topo.APUp, topo.APDown},
+			Cell:     []*netem.Link{topo.CellUp, topo.CellDown},
+			Withdraw: f.withdraw,
+			Restore:  f.restore,
+			OnFault:  f.mon.OnFault,
+		})
+	}
+	chaos.ArmWatchdog(s, cfg.Deadline)
+
 	f.startServer()
 	topo.StartBackground(cfg.Background, rng.Child("background"), cfg.Duration)
 
@@ -202,11 +233,28 @@ func runFleet(cfg Config) (*Result, *fleet) {
 			f.res.Offered++
 		}
 	}
+	if testRunHook != nil {
+		testRunHook(f)
+	}
 
 	s.RunUntil(cfg.Duration + cfg.Drain)
+	if err := s.AbortErr(); err != nil {
+		f.res.Failed = true
+		f.res.FailReason = err.Error()
+	}
 	f.finish()
+	if f.mon != nil {
+		f.res.ChaosSpec = cfg.Chaos.Spec()
+		f.res.Resilience = f.mon.Finish()
+	}
 	return f.res, f
 }
+
+// testRunHook, when non-nil, runs after a fleet is wired but before
+// its simulation starts. Containment tests use it to sabotage one run
+// (an injected panic or livelock) and prove the sweep survives. It is
+// written only before RunSweep starts its workers.
+var testRunHook func(*fleet)
 
 // buildStackConfigs materializes the TCP and MPTCP configs once; the
 // controllers are stateless values shared safely by every flow. The
@@ -335,6 +383,10 @@ func (f *fleet) startFlow(session int) {
 		fl.getter = web.NewGetter(web.MPTCPStream{Conn: conn})
 		fl.getter.Get(int(fl.size), func() { f.complete(fl) })
 	}
+	if f.mon != nil {
+		fl.tracked = f.mon.Track(fmt.Sprintf("flow-%d", id),
+			func() int64 { return fl.getter.BytesReceived })
+	}
 }
 
 // complete retires a finished flow: fold its lifecycle metrics into
@@ -345,6 +397,9 @@ func (f *fleet) complete(fl *flow) {
 	f.res.absorbFlow(f.topo, fl, fct)
 	if f.ck != nil && fl.serverConn != nil && fl.clientConn != nil {
 		f.ck.CheckTransfer(fmt.Sprintf("flow-%d", fl.id), fl.serverConn, fl.clientConn, true)
+	}
+	if fl.tracked != nil {
+		fl.tracked.Done(true)
 	}
 	fl.getter.Close()
 	f.release(fl)
@@ -365,6 +420,85 @@ func (f *fleet) release(fl *flow) {
 	if fl.clientConn != nil && len(fl.clientConn.Subflows()) > 0 {
 		delete(f.byClientAddr, fl.clientConn.Subflows()[0].EP.Local)
 	}
+}
+
+// sortedActive lists the live flows in id order — storm hooks iterate
+// it instead of the active map so address withdrawal order (and hence
+// the whole run) is deterministic.
+func (f *fleet) sortedActive() []*flow {
+	ids := make([]int, 0, len(f.active))
+	for id := range f.active {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*flow, len(ids))
+	for i, id := range ids {
+		out[i] = f.active[id]
+	}
+	return out
+}
+
+// onPath reports whether an address belongs to the chaos path.
+func (f *fleet) onPath(a seg.Addr, p chaos.Path) bool {
+	if p == chaos.Both {
+		return true
+	}
+	return f.topo.IsCellIP(a) == (p == chaos.Cell)
+}
+
+// withdraw implements chaos.Target.Withdraw: every active MPTCP flow
+// drops its subflows on the path's interface, REMOVE_ADDR-ing the peer
+// and reinjecting stranded data on survivors — the "walked away from
+// the AP" half of a handover. Single-path TCP flows have no address
+// machinery; storms only shake them via whatever the links do.
+func (f *fleet) withdraw(p chaos.Path) {
+	for _, fl := range f.sortedActive() {
+		c := fl.clientConn
+		if c == nil {
+			continue
+		}
+		seen := map[seg.Addr]bool{}
+		for _, sf := range c.Subflows() {
+			local := sf.EP.Local
+			if seen[local] || !f.onPath(local, p) || sf.EP.State() == tcp.StateClosed {
+				continue
+			}
+			seen[local] = true
+			c.RemoveLocalAddr(local)
+		}
+	}
+}
+
+// restore implements chaos.Target.Restore: flows missing a live
+// subflow on the path rejoin through it on a fresh port (reusing the
+// withdrawn 4-tuple would race a stale server endpoint whose teardown
+// RST was lost).
+func (f *fleet) restore(p chaos.Path) {
+	for _, fl := range f.sortedActive() {
+		c := fl.clientConn
+		if c == nil || !c.Established() {
+			continue
+		}
+		if (p == chaos.WiFi || p == chaos.Both) && !f.hasLive(c, false) {
+			wifiAddr, _ := fl.client.addrs()
+			c.RejoinLocalAddr(wifiAddr)
+		}
+		if (p == chaos.Cell || p == chaos.Both) && !f.hasLive(c, true) {
+			_, cellAddr := fl.client.addrs()
+			c.RejoinLocalAddr(cellAddr)
+		}
+	}
+}
+
+// hasLive reports whether the connection has an established subflow on
+// the given access network.
+func (f *fleet) hasLive(c *mptcp.Conn, cell bool) bool {
+	for _, sf := range c.Subflows() {
+		if sf.EP.Established() && f.topo.IsCellIP(sf.EP.Local) == cell {
+			return true
+		}
+	}
+	return false
 }
 
 // finish closes out the run: account still-active flows as

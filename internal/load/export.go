@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+
+	"mptcplab/internal/chaos"
 )
 
 // RunExport is the machine-readable summary of one fleet run. Exports
@@ -45,6 +47,11 @@ type RunExport struct {
 	CellRetransPct float64 `json:"cell_retrans_pct"`
 
 	Violations int `json:"violations"`
+
+	// Harness outcome: failed runs (contained panic, watchdog kill)
+	// keep their row with whatever stats accumulated, plus the reason.
+	Failed     bool   `json:"failed"`
+	FailReason string `json:"fail_reason,omitempty"`
 }
 
 // exportRun flattens one run. The replay token re-derives the exact
@@ -63,6 +70,8 @@ func exportRun(p SweepPoint, rep int, res *Result, token string) RunExport {
 		Jain:        res.Goodput.Jain(),
 		CellShare:   res.CellShare(),
 		Violations:  res.Violations,
+		Failed:      res.Failed,
+		FailReason:  res.FailReason,
 	}
 	if res.FCTSmall.N() > 0 {
 		e.SmallP50 = res.FCTSmall.Quantile(0.5)
@@ -127,7 +136,8 @@ var csvHeader = []string{
 	"fct_small_s_p50", "fct_large_s_p50",
 	"goodput_bps_mean", "jain", "cell_share",
 	"ap_down_util", "cell_down_util", "ap_down_qdrop", "cell_down_qdrop",
-	"wifi_retrans_pct", "cell_retrans_pct", "violations", "replay",
+	"wifi_retrans_pct", "cell_retrans_pct", "violations",
+	"failed", "fail_reason", "replay",
 }
 
 // WriteCSV emits the sweep as CSV with a header row.
@@ -148,7 +158,8 @@ func (sw *Sweep) WriteCSV(w io.Writer, base Config) error {
 			f(e.APDownUtil), f(e.CellDownUtil),
 			strconv.FormatUint(e.APDownQDrop, 10), strconv.FormatUint(e.CellDownDrop, 10),
 			f(e.WiFiRetransPct), f(e.CellRetransPct),
-			strconv.Itoa(e.Violations), e.Replay,
+			strconv.Itoa(e.Violations),
+			strconv.FormatBool(e.Failed), e.FailReason, e.Replay,
 		}
 		if err := cw.Write(rec); err != nil {
 			return err
@@ -166,4 +177,107 @@ func (sw *Sweep) Describe() string {
 	}
 	return fmt.Sprintf("load sweep: %d points (%d rates) x %d reps",
 		len(sw.Points), len(sw.sortedRates()), reps)
+}
+
+// ResilienceExport is one chaos run's resilience row: grid position +
+// the flattened chaos report + harness outcome + replay token.
+type ResilienceExport struct {
+	Rate    float64 `json:"rate_flows_per_s"`
+	Clients int     `json:"clients"`
+	Rep     int     `json:"rep"`
+	Seed    int64   `json:"seed"`
+
+	Failed     bool   `json:"failed"`
+	FailReason string `json:"fail_reason,omitempty"`
+
+	chaos.ReportExport
+
+	Violations int    `json:"violations"`
+	Replay     string `json:"replay"`
+}
+
+// ExportResilience flattens the sweep's resilience reports, one record
+// per executed run, in grid order. Failed runs (contained panic or
+// watchdog kill) appear with zeroed resilience fields and the failure
+// reason; runs without a chaos schedule are skipped.
+func (sw *Sweep) ExportResilience(base Config) []ResilienceExport {
+	var out []ResilienceExport
+	for _, p := range sw.Points {
+		for rep, res := range p.Runs {
+			if res == nil || (res.Resilience == nil && !res.Failed) {
+				continue
+			}
+			cfg := base
+			if p.Rate > 0 {
+				cfg.Rate = p.Rate
+				cfg.Flows = 0
+			}
+			if p.Clients > 0 {
+				cfg.Clients = p.Clients
+			}
+			cfg.Seed = res.Seed
+			e := ResilienceExport{
+				Rate: p.Rate, Clients: p.Clients, Rep: rep, Seed: res.Seed,
+				Failed: res.Failed, FailReason: res.FailReason,
+				Violations: res.Violations,
+				Replay:     cfg.ReplayToken(),
+			}
+			if res.Resilience != nil {
+				e.ReportExport = res.Resilience.Export(res.ChaosSpec)
+			} else {
+				e.Schedule = res.ChaosSpec
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteResilienceJSON emits the resilience rows as a JSON array.
+func (sw *Sweep) WriteResilienceJSON(w io.Writer, base Config) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(sw.ExportResilience(base))
+}
+
+// resCSVHeader lists the resilience columns, in order.
+var resCSVHeader = []string{
+	"rate_flows_per_s", "clients", "rep", "seed", "failed", "fail_reason",
+	"chaos", "res_flows", "res_ok", "res_late", "res_incomplete",
+	"res_stalled", "res_aborted", "res_stalls", "res_longest_stall_s",
+	"res_stall_s_mean", "res_recoveries", "res_unrecovered",
+	"res_ttr_s_mean", "res_ttr_s_max", "res_fault_bytes",
+	"res_steady_bytes", "res_fault_bps", "res_steady_bps",
+	"res_retries", "res_timeouts", "res_graceful", "violations", "replay",
+}
+
+// WriteResilienceCSV emits the resilience rows as CSV with a header.
+func (sw *Sweep) WriteResilienceCSV(w io.Writer, base Config) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(resCSVHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+	for _, e := range sw.ExportResilience(base) {
+		rec := []string{
+			f(e.Rate), strconv.Itoa(e.Clients), strconv.Itoa(e.Rep),
+			strconv.FormatInt(e.Seed, 10),
+			strconv.FormatBool(e.Failed), e.FailReason,
+			e.Schedule,
+			strconv.Itoa(e.Flows), strconv.Itoa(e.OK), strconv.Itoa(e.Late),
+			strconv.Itoa(e.Incomplete), strconv.Itoa(e.Stalled), strconv.Itoa(e.Aborted),
+			strconv.Itoa(e.Stalls), f(e.LongestStallS), f(e.StallMeanS),
+			strconv.Itoa(e.Recoveries), strconv.Itoa(e.Unrecovered),
+			f(e.TTRMeanS), f(e.TTRMaxS),
+			strconv.FormatInt(e.FaultBytes, 10), strconv.FormatInt(e.SteadyBytes, 10),
+			f(e.FaultBps), f(e.SteadyBps),
+			strconv.Itoa(e.Retries), strconv.Itoa(e.Timeouts),
+			e.Graceful, strconv.Itoa(e.Violations), e.Replay,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
 }

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"mptcplab/internal/chaos"
 	"mptcplab/internal/sim"
 	"mptcplab/internal/units"
 )
@@ -178,5 +179,63 @@ func TestSweepDescribe(t *testing.T) {
 	want := "load sweep: 2 points (2 rates) x 2 reps"
 	if got := sw.Describe(); !strings.HasPrefix(got, want) {
 		t.Errorf("Describe() = %q, want prefix %q", got, want)
+	}
+}
+
+// TestReplayTokenChaosRoundTrip: a chaos spec embedded in the token
+// must come back as the same canonical schedule.
+func TestReplayTokenChaosRoundTrip(t *testing.T) {
+	sched, err := chaos.Parse("flap:path=wifi;at=1s;dur=200ms;every=1s;n=3+fade:path=cell;depth=0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Clients: 20, Rate: 4, Seed: 9, Chaos: sched}
+	tok := cfg.ReplayToken()
+	if !strings.Contains(tok, "chaos="+sched.Spec()) {
+		t.Fatalf("token %q does not embed canonical chaos spec", tok)
+	}
+	back, err := ParseReplay(tok)
+	if err != nil {
+		t.Fatalf("ParseReplay(%q): %v", tok, err)
+	}
+	if back.Chaos.Spec() != sched.Spec() {
+		t.Fatalf("chaos spec changed: %q -> %q", sched.Spec(), back.Chaos.Spec())
+	}
+	if got := back.ReplayToken(); got != tok {
+		t.Fatalf("token round trip changed:\n  orig  %s\n  again %s", tok, got)
+	}
+}
+
+// TestParseReplayRejectsMalformed: every malformed or hostile token
+// must fail with a one-line error — never a panic, never a wedged run.
+func TestParseReplayRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",                                      // empty token
+		"clients=10,flows",                      // truncated mid-pair
+		"clients=10,flows=",                     // empty value
+		"clients=-5,flows=10",                   // out-of-range fleet size
+		"clients=999999",                        // beyond MaxClients
+		"clients=10,dur=0s",                     // zero duration after defaults? (dur explicit 0 is default-substituted)
+		"clients=10,dur=-5s",                    // negative duration
+		"clients=10,flows=-3",                   // negative flow count
+		"clients=10,rate=-1",                    // negative rate
+		"clients=10,chaos=wat",                  // unknown chaos preset
+		"clients=10,chaos=flap:dur=2s;every=1s", // invalid schedule (dur >= every)
+		"clients=10,seed=notanum",               // unparseable integer
+	}
+	for _, tok := range bad {
+		cfg, err := ParseReplay(tok)
+		if err == nil {
+			// dur=0s parses and then defaults kick in — that one is
+			// legitimately accepted; everything else must error.
+			if tok == "clients=10,dur=0s" {
+				continue
+			}
+			t.Errorf("ParseReplay(%q) accepted: %+v", tok, cfg)
+			continue
+		}
+		if strings.Contains(err.Error(), "\n") {
+			t.Errorf("ParseReplay(%q) returned a multi-line error: %q", tok, err)
+		}
 	}
 }

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"mptcplab/internal/chaos"
 	"mptcplab/internal/check"
 	"mptcplab/internal/netem"
 	"mptcplab/internal/sim"
@@ -86,6 +87,18 @@ type Result struct {
 
 	// Per-link utilization over the full run (access + LAN).
 	Links []LinkUtil
+
+	// Failed marks a run the harness killed (watchdog deadline or
+	// livelock) or contained after a panic; FailReason is a one-line
+	// explanation. Whatever statistics accumulated before the kill are
+	// still present above.
+	Failed     bool
+	FailReason string
+
+	// Resilience is the chaos monitor's report (nil when the run had
+	// no schedule); ChaosSpec is the canonical schedule spec it ran.
+	Resilience *chaos.Report
+	ChaosSpec  string
 
 	// Execution metadata.
 	Events         uint64

@@ -1,6 +1,7 @@
 package load
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"mptcplab/internal/chaos"
 	"mptcplab/internal/sim"
 	"mptcplab/internal/units"
 )
@@ -36,6 +38,16 @@ type SweepOpts struct {
 	// Progress, if set, is called after each finished run. Calls are
 	// serialized; only done increasing 1..total is guaranteed.
 	Progress func(done, total int)
+
+	// Context, when non-nil, cancels the sweep: workers finish the run
+	// they are on, stop claiming new jobs, and RunSweep returns with
+	// Sweep.Cancelled set and nil entries for the runs never executed —
+	// exports skip those, so partial results survive a Ctrl-C.
+	Context context.Context
+}
+
+func (o SweepOpts) cancelled() bool {
+	return o.Context != nil && o.Context.Err() != nil
 }
 
 func (o SweepOpts) reps() int {
@@ -71,6 +83,13 @@ type Sweep struct {
 	TotalEvents     uint64
 	TotalViolations int
 	FirstViolation  string
+
+	// Cancelled reports the sweep was stopped early via
+	// SweepOpts.Context; unexecuted runs stay nil.
+	Cancelled bool
+	// FailedRuns counts runs that panicked or were killed by the
+	// watchdog — each still has a Result row (Failed=true).
+	FailedRuns int
 }
 
 // sweepJob addresses one run: grid point and repetition indices.
@@ -120,6 +139,10 @@ func RunSweep(opts SweepOpts) *Sweep {
 	start := time.Now()
 	var busy atomic.Int64
 
+	// runJob executes one run inside a containment boundary: a panic
+	// anywhere in the stack becomes a structured failed-run row (with
+	// the run's seed and replay token still derivable) instead of
+	// killing the worker and tearing down the sweep.
 	runJob := func(j sweepJob) *Result {
 		t0 := time.Now()
 		cfg := opts.Base
@@ -132,15 +155,24 @@ func RunSweep(opts SweepOpts) *Sweep {
 			cfg.Clients = p.Clients
 		}
 		cfg.Seed = sweepSeed(opts.Seed, j.point, j.rep)
-		res := Run(cfg)
+		var res *Result
+		if err := chaos.Contain(func() { res = Run(cfg) }); err != nil {
+			res = failedResult(cfg, err)
+		}
 		busy.Add(int64(time.Since(t0)))
 		return res
 	}
 
 	absorb := func(j sweepJob, res *Result) {
+		if res == nil {
+			return // cancelled before this job ran
+		}
 		sw.Points[j.point].Runs[j.rep] = res
 		sw.TotalEvents += res.Events
 		sw.TotalViolations += res.Violations
+		if res.Failed {
+			sw.FailedRuns++
+		}
 		if sw.FirstViolation == "" {
 			sw.FirstViolation = res.FirstViolation
 		}
@@ -148,6 +180,9 @@ func RunSweep(opts SweepOpts) *Sweep {
 
 	if sw.Workers <= 1 {
 		for k, j := range jobs {
+			if opts.cancelled() {
+				break
+			}
 			absorb(j, runJob(j))
 			if opts.Progress != nil {
 				opts.Progress(k+1, len(jobs))
@@ -167,6 +202,9 @@ func RunSweep(opts SweepOpts) *Sweep {
 			go func() {
 				defer wg.Done()
 				for {
+					if opts.cancelled() {
+						return
+					}
 					k := int(next.Add(1))
 					if k >= len(jobs) {
 						return
@@ -186,10 +224,25 @@ func RunSweep(opts SweepOpts) *Sweep {
 			absorb(j, results[k])
 		}
 	}
+	sw.Cancelled = opts.cancelled()
 
 	sw.BusyTime = time.Duration(busy.Load())
 	sw.WallTime = time.Since(start)
 	return sw
+}
+
+// failedResult builds the structured row for a contained run failure.
+// Only the first line of the error is kept: panic stacks carry
+// goroutine ids that vary with worker scheduling, and exports must be
+// a pure function of the seed.
+func failedResult(cfg Config, err error) *Result {
+	res := newResult(cfg.withDefaults())
+	res.Failed = true
+	res.FailReason, _, _ = strings.Cut(err.Error(), "\n")
+	if !cfg.Chaos.Empty() {
+		res.ChaosSpec = cfg.Chaos.Spec()
+	}
+	return res
 }
 
 // ReplayToken renders the knobs that uniquely determine one run as a
@@ -226,6 +279,11 @@ func (c Config) ReplayToken() string {
 	if bg.Enabled() {
 		fmt.Fprintf(&b, ",bgwd=%s,bgwu=%s,bgcd=%s,bgcu=%s",
 			bg.WiFiDown, bg.WiFiUp, bg.CellDown, bg.CellUp)
+	}
+	if !c.Chaos.Empty() {
+		// The chaos grammar uses ':', ';' and '+' precisely so its
+		// canonical spec nests inside this comma-separated token.
+		fmt.Fprintf(&b, ",chaos=%s", c.Chaos.Spec())
 	}
 	return b.String()
 }
@@ -278,6 +336,8 @@ func ParseReplay(tok string) (Config, error) {
 			c.Background.CellDown, err = units.ParseBitRate(v)
 		case "bgcu":
 			c.Background.CellUp, err = units.ParseBitRate(v)
+		case "chaos":
+			c.Chaos, err = chaos.Parse(v)
 		default:
 			err = fmt.Errorf("unknown key %q", k)
 		}
@@ -285,7 +345,39 @@ func ParseReplay(tok string) (Config, error) {
 			return c, fmt.Errorf("load: replay token part %q: %v", part, err)
 		}
 	}
+	if err := c.Validate(); err != nil {
+		return c, err
+	}
 	return c, nil
+}
+
+// Validate rejects configs that would panic or wedge the engine —
+// the guard that makes a malformed or hand-edited replay token fail
+// with a one-line error instead of a stack trace.
+func (c Config) Validate() error {
+	d := c.withDefaults()
+	if d.Clients < 1 || d.Clients > MaxClients {
+		return fmt.Errorf("load: clients=%d outside [1,%d]", d.Clients, MaxClients)
+	}
+	if c.Flows < 0 {
+		return fmt.Errorf("load: flows=%d is negative", c.Flows)
+	}
+	if c.Rate < 0 {
+		return fmt.Errorf("load: rate=%g is negative", c.Rate)
+	}
+	if c.Sessions < 0 {
+		return fmt.Errorf("load: sessions=%d is negative", c.Sessions)
+	}
+	if c.ThinkMean < 0 {
+		return fmt.Errorf("load: think=%v is negative", c.ThinkMean)
+	}
+	if d.Duration <= 0 {
+		return fmt.Errorf("load: dur=%v must be positive", d.Duration)
+	}
+	if c.Drain < 0 {
+		return fmt.Errorf("load: drain=%v is negative", c.Drain)
+	}
+	return nil
 }
 
 func parseSimTime(s string) (sim.Time, error) {

@@ -794,6 +794,56 @@ func (c *Conn) RemoveLocalAddr(addr seg.Addr) {
 	c.pump()
 }
 
+// RejoinLocalAddr re-establishes connectivity through an interface
+// that previously disappeared: the "walked back into WiFi range" half
+// of the §6 handover story (RemoveLocalAddr is the walking-away half).
+// The caller must supply a FRESH port on the returning interface —
+// reusing the withdrawn 4-tuple races against a stale server-side
+// endpoint if the teardown RST was lost during the outage. The address
+// slot is matched by IP so the AddrID advertised to the peer stays
+// stable across remove/rejoin cycles. No-op (returns nil) if the
+// connection is closed, never established, has no live subflow to
+// advertise on, or the IP is already served by a live subflow.
+func (c *Conn) RejoinLocalAddr(addr seg.Addr) *Subflow {
+	if c.isServer || c.closed || !c.established || len(c.knownRemotes) == 0 {
+		return nil
+	}
+	var adv *Subflow
+	for _, sf := range c.subflows {
+		if !sf.EP.Established() {
+			continue
+		}
+		if sf.EP.Local.IP == addr.IP {
+			return nil
+		}
+		if adv == nil {
+			adv = sf
+		}
+	}
+	if adv == nil {
+		return nil
+	}
+	id := -1
+	for i, a := range c.localAddrs {
+		if a.IP == addr.IP {
+			c.localAddrs[i] = addr
+			id = i
+			break
+		}
+	}
+	if id < 0 {
+		id = len(c.localAddrs)
+		c.localAddrs = append(c.localAddrs, addr)
+	}
+	adv.pendingOpts = append(adv.pendingOpts,
+		seg.AddAddrOption{AddrID: uint8(id), Addr: addr})
+	adv.EP.PushAck()
+	sf := c.addSubflow(addr, c.knownRemotes[0], c.label(id))
+	sf.Backup = c.backupFlag(id)
+	sf.EP.Connect()
+	return sf
+}
+
 func (c *Conn) addrID(addr seg.Addr) uint8 {
 	for i, a := range c.localAddrs {
 		if a == addr {

@@ -1,0 +1,112 @@
+package mptcp
+
+import (
+	"testing"
+
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/tcp"
+	"mptcplab/internal/units"
+)
+
+// The full handover round trip: WiFi disappears mid-download
+// (RemoveLocalAddr), the transfer survives on cellular, WiFi returns
+// (RejoinLocalAddr on a fresh port) and a new subflow joins and
+// carries data again — the chaos layer's "storm" primitive.
+func TestRejoinLocalAddrAfterOutage(t *testing.T) {
+	tn := buildTwoPath(t, defaultWifi(), defaultCell(), false)
+	cfg := DefaultConfig()
+	size := int64(24 * units.MB)
+
+	srv := NewServer(tn.server, tn.net, tn.srvAddr.Port, cfg, tn.rng.Child("srv"))
+	srv.OnConn = func(c *Conn) {
+		c.OnData = func(int64) {
+			if c.BytesWritten() == 0 {
+				c.Write(int(size))
+				c.Close()
+			}
+		}
+	}
+	var rcvd int64
+	conn := Dial(tn.net, tn.client, DialOpts{
+		LocalAddrs: []seg.Addr{tn.wifiAddr, tn.cellAddr},
+		Labels:     []string{"wifi", "cell"},
+		ServerAddr: tn.srvAddr,
+		Config:     cfg,
+	}, tn.rng.Child("cli"))
+	conn.OnData = func(n int64) { rcvd += n }
+	conn.OnRemoteClose = func() { conn.Close() }
+	conn.OnEstablished = func() { conn.Write(64) }
+
+	freshWifi := seg.Addr{IP: tn.wifiAddr.IP, Port: tn.wifiAddr.Port + 1}
+	var rejoined *Subflow
+	tn.sim.At(1*sim.Second, "wifi-gone", func() {
+		tn.wifiUp.SetDown(true)
+		tn.wifiDown.SetDown(true)
+		conn.RemoveLocalAddr(tn.wifiAddr)
+	})
+	tn.sim.At(3*sim.Second, "wifi-back", func() {
+		tn.wifiUp.SetDown(false)
+		tn.wifiDown.SetDown(false)
+		rejoined = conn.RejoinLocalAddr(freshWifi)
+	})
+	tn.sim.RunUntil(3 * 60 * sim.Second)
+
+	if rcvd != size {
+		t.Fatalf("received %d of %d across remove+rejoin", rcvd, size)
+	}
+	if rejoined == nil {
+		t.Fatal("RejoinLocalAddr returned nil on an established connection")
+	}
+	if !rejoined.EP.Established() && rejoined.EP.State() != tcp.StateClosed {
+		t.Errorf("rejoined wifi subflow never established (state %v)", rejoined.EP.State())
+	}
+	// The rejoined slot must reuse the wifi AddrID (matched by IP), not
+	// mint a new address slot for every flap.
+	if got := conn.addrID(freshWifi); got != 0 {
+		t.Errorf("rejoined addr got AddrID %d, want the original wifi slot 0", got)
+	}
+}
+
+// Rejoin is a guarded no-op in every state where joining is wrong:
+// before establishment, after close, while the IP is already live.
+func TestRejoinLocalAddrGuards(t *testing.T) {
+	tn := buildTwoPath(t, defaultWifi(), defaultCell(), false)
+	cfg := DefaultConfig()
+	srv := NewServer(tn.server, tn.net, tn.srvAddr.Port, cfg, tn.rng.Child("srv"))
+	srv.OnConn = func(c *Conn) {
+		c.OnData = func(int64) {
+			if c.BytesWritten() == 0 {
+				c.Write(1 << 20)
+				c.Close()
+			}
+		}
+	}
+	conn := Dial(tn.net, tn.client, DialOpts{
+		LocalAddrs: []seg.Addr{tn.wifiAddr, tn.cellAddr},
+		ServerAddr: tn.srvAddr,
+		Config:     cfg,
+	}, tn.rng.Child("cli"))
+	conn.OnRemoteClose = func() { conn.Close() }
+	conn.OnEstablished = func() { conn.Write(64) }
+
+	// Before the handshake completes: nothing to advertise on.
+	if sf := conn.RejoinLocalAddr(seg.Addr{IP: tn.wifiAddr.IP, Port: 9999}); sf != nil {
+		t.Error("rejoin before establishment should be a no-op")
+	}
+	tn.sim.RunUntil(30 * sim.Second)
+
+	// IP already live on an established subflow.
+	nBefore := len(conn.Subflows())
+	if sf := conn.RejoinLocalAddr(seg.Addr{IP: tn.cellAddr.IP, Port: 9998}); sf != nil {
+		t.Error("rejoin of a live IP should be a no-op")
+	}
+	if len(conn.Subflows()) != nBefore {
+		t.Errorf("guarded rejoin grew subflows %d -> %d", nBefore, len(conn.Subflows()))
+	}
+
+	// After close.
+	if sf := conn.RejoinLocalAddr(seg.Addr{IP: [4]byte{9, 9, 9, 9}, Port: 1}); sf != nil {
+		t.Error("rejoin after close should be a no-op")
+	}
+}

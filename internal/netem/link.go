@@ -207,6 +207,9 @@ func (l *Link) SetDown(down bool) {
 	l.down = down
 }
 
+// SetUp ends an outage; shorthand for SetDown(false).
+func (l *Link) SetUp() { l.SetDown(false) }
+
 // badOwnership reports a use-after-release detected at arrival.
 func (l *Link) badOwnership(s *seg.Segment) {
 	if l.OnBadOwnership != nil {

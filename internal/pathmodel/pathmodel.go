@@ -22,6 +22,7 @@ package pathmodel
 
 import (
 	"fmt"
+	"math"
 
 	"mptcplab/internal/netem"
 	"mptcplab/internal/sim"
@@ -213,6 +214,36 @@ func (p Profile) Sample(rng *sim.RNG) Profile {
 		s.ARQ = &a
 	}
 	return s
+}
+
+// SignalFade models a radio signal dropping into a fade and climbing
+// back out: a raised-cosine dip in link capacity with a matching rise
+// in loss probability. frac is the position inside the fade in [0,1]
+// (0 = entering, 0.5 = deepest point, 1 = recovered); depth in [0,1]
+// is how much capacity disappears at the bottom (1 = total blackout).
+// It returns the factor to scale the nominal link rate by and the
+// extra random-loss probability to apply at that instant. The curve is
+// C¹-smooth so ramped application in small steps has no rate cliffs.
+func SignalFade(frac, depth float64) (rateScale, loss float64) {
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	if depth > 1 {
+		depth = 1
+	}
+	// Raised cosine: 0 at the edges, 1 at frac=0.5.
+	dip := 0.5 * (1 - math.Cos(2*math.Pi*frac))
+	rateScale = 1 - depth*dip
+	// Loss grows with the square of the dip so shallow fades stay
+	// nearly loss-free while deep fades approach a lossy blackout.
+	loss = depth * dip * dip * 0.5
+	return rateScale, loss
 }
 
 // Links materializes the profile into an uplink and downlink pair

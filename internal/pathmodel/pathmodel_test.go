@@ -126,3 +126,38 @@ func TestLinksMaterialization(t *testing.T) {
 		t.Errorf("WiFi downlink loss is %T, want Gilbert-Elliott", wDown.Loss)
 	}
 }
+
+func TestSignalFadeCurve(t *testing.T) {
+	// Edges: no fade applied entering or leaving.
+	for _, frac := range []float64{0, 1} {
+		rs, loss := SignalFade(frac, 0.9)
+		if rs < 0.999 || loss > 0.001 {
+			t.Fatalf("frac=%v: rateScale=%v loss=%v, want ~1 and ~0", frac, rs, loss)
+		}
+	}
+	// Deepest point: rate scaled by exactly 1-depth.
+	rs, loss := SignalFade(0.5, 0.8)
+	if rs < 0.199 || rs > 0.201 {
+		t.Fatalf("rateScale at bottom = %v, want 0.2", rs)
+	}
+	if loss <= 0 || loss > 0.5 {
+		t.Fatalf("loss at bottom = %v, want (0, 0.5]", loss)
+	}
+	// Monotone into the dip, symmetric out of it.
+	prev := 1.0
+	for f := 0.0; f <= 0.5; f += 0.05 {
+		r, _ := SignalFade(f, 0.95)
+		if r > prev+1e-12 {
+			t.Fatalf("rateScale not monotone into fade at frac=%v", f)
+		}
+		r2, _ := SignalFade(1-f, 0.95)
+		if r2 < r-1e-9 || r2 > r+1e-9 {
+			t.Fatalf("fade not symmetric: frac=%v -> %v, frac=%v -> %v", f, r, 1-f, r2)
+		}
+		prev = r
+	}
+	// Out-of-range inputs clamp instead of exploding.
+	if rs, _ := SignalFade(-3, 2); rs < 0 || rs > 1 {
+		t.Fatalf("clamped SignalFade out of range: %v", rs)
+	}
+}

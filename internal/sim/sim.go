@@ -118,6 +118,15 @@ type Simulator struct {
 	ran     uint64
 	running bool
 	stopped bool
+
+	// Watchdog state: watchFn is invoked every watchEvery processed
+	// events inside Run/RunUntil; a non-nil return aborts the loop and
+	// is reported by AbortErr. The per-event cost when no watchdog is
+	// installed is a single nil check.
+	watchFn    func() error
+	watchEvery uint64
+	watchLeft  uint64
+	abortErr   error
 }
 
 // New returns a fresh Simulator with its clock at zero.
@@ -197,6 +206,40 @@ func (s *Simulator) Cancel(e Event) {
 // (if any) completes.
 func (s *Simulator) Stop() { s.stopped = true }
 
+// SetWatchdog installs fn, called once every `every` processed events
+// during Run/RunUntil/RunFor. If fn returns a non-nil error, the run
+// loop stops immediately and AbortErr reports the error — the hook the
+// chaos harness uses for wall-clock deadlines and livelock detection
+// (a simulation burning events without advancing virtual time).
+// A nil fn removes the watchdog. every defaults to 65536 when <= 0.
+func (s *Simulator) SetWatchdog(every uint64, fn func() error) {
+	if every == 0 {
+		every = 1 << 16
+	}
+	s.watchFn = fn
+	s.watchEvery = every
+	s.watchLeft = every
+}
+
+// AbortErr reports the error that aborted the last run loop via the
+// watchdog, or nil. It stays set until the next Run/RunUntil starts.
+func (s *Simulator) AbortErr() error { return s.abortErr }
+
+// watchdogTripped runs the watchdog countdown after one processed
+// event and reports whether the run loop must abort.
+func (s *Simulator) watchdogTripped() bool {
+	s.watchLeft--
+	if s.watchLeft > 0 {
+		return false
+	}
+	s.watchLeft = s.watchEvery
+	if err := s.watchFn(); err != nil {
+		s.abortErr = err
+		return true
+	}
+	return false
+}
+
 // peek discards dead records from the head of the queue and returns
 // the next live event, or nil if none remain.
 func (s *Simulator) peek() *eventRec {
@@ -231,28 +274,38 @@ func (s *Simulator) Step() bool {
 	return true
 }
 
-// Run executes events until the queue drains or Stop is called.
+// Run executes events until the queue drains, Stop is called, or the
+// watchdog (if any) aborts the loop.
 func (s *Simulator) Run() {
 	s.running = true
 	defer func() { s.running = false }()
 	s.stopped = false
+	s.abortErr = nil
 	for !s.stopped && s.Step() {
+		if s.watchFn != nil && s.watchdogTripped() {
+			return
+		}
 	}
 }
 
 // RunUntil executes events with timestamps <= deadline, advancing the
 // clock to exactly deadline when the queue runs dry earlier. Like Run,
-// it holds the running flag for re-entrancy detection.
+// it holds the running flag for re-entrancy detection. A watchdog
+// abort leaves the clock at the last processed event (AbortErr set).
 func (s *Simulator) RunUntil(deadline Time) {
 	s.running = true
 	defer func() { s.running = false }()
 	s.stopped = false
+	s.abortErr = nil
 	for !s.stopped {
 		e := s.peek()
 		if e == nil || e.at > deadline {
 			break
 		}
 		s.Step()
+		if s.watchFn != nil && s.watchdogTripped() {
+			return
+		}
 	}
 	if s.now < deadline {
 		s.now = deadline

@@ -1,0 +1,135 @@
+package tcp
+
+import (
+	"testing"
+
+	"mptcplab/internal/seg"
+	"mptcplab/internal/sim"
+	"mptcplab/internal/units"
+)
+
+// armOwnership fails the test if either link detects a pooled segment
+// recycled while in flight — the invariant link flaps are most likely
+// to break, since SetDown force-releases in-flight segments.
+func (tn *testNet) armOwnership(t *testing.T) {
+	t.Helper()
+	catch := func(link string, _ *seg.Segment) {
+		t.Errorf("pool use-after-release detected on link %q", link)
+	}
+	tn.up.OnBadOwnership = catch
+	tn.down.OnBadOwnership = catch
+}
+
+// flap schedules a full down/up cycle on both directions.
+func (tn *testNet) flap(at, dur sim.Time) {
+	tn.sim.At(at, "flap-down", func() {
+		tn.up.SetDown(true)
+		tn.down.SetDown(true)
+	})
+	tn.sim.At(at+dur, "flap-up", func() {
+		tn.up.SetUp()
+		tn.down.SetUp()
+	})
+}
+
+// TestFlapMidDeliveryTransferCompletes: repeated link flaps while data
+// and ACKs are in the air kill in-flight segments (released straight
+// back to the pool), yet the transfer recovers via RTO and completes
+// with no ownership violations.
+func TestFlapMidDeliveryTransferCompletes(t *testing.T) {
+	tn := newTestNet(t, 10*units.Mbps, 20*sim.Millisecond, 0, 256*units.KB)
+	tn.armOwnership(t)
+	for i := 0; i < 3; i++ {
+		tn.flap(sim.Time(200+400*i)*sim.Millisecond, 150*sim.Millisecond)
+	}
+
+	client, server, _ := tn.runDownload(t, 512*units.KB, DefaultConfig())
+	if server.Stats.DataPktsRetrans == 0 {
+		t.Error("flaps killed in-flight data but the server never retransmitted")
+	}
+	if tn.up.Stats.MediumDrop == 0 && tn.down.Stats.MediumDrop == 0 {
+		t.Error("no medium drops recorded across three flaps")
+	}
+	if client.State() != StateClosed && client.State() != StateTimeWait {
+		t.Errorf("client finished in state %v", client.State())
+	}
+}
+
+// TestFlapDuringSYNRetransmission: the link goes down before the
+// client's first SYN and stays down across several handshake
+// retransmissions; once it returns, the next SYN retry establishes
+// the connection and the download completes.
+func TestFlapDuringSYNRetransmission(t *testing.T) {
+	tn := newTestNet(t, 10*units.Mbps, 20*sim.Millisecond, 0, 256*units.KB)
+	tn.armOwnership(t)
+	tn.up.SetDown(true)
+	tn.down.SetDown(true)
+	// Long enough for the initial SYN plus at least one backoff retry
+	// to die on the dark link.
+	tn.sim.At(2*sim.Second, "flap-up", func() {
+		tn.up.SetUp()
+		tn.down.SetUp()
+	})
+
+	client, _, done := tn.runDownload(t, 64*units.KB, DefaultConfig())
+	if done < 2*sim.Second {
+		t.Errorf("download finished at %v, before the link even came back", done)
+	}
+	if client.Stats.Timeouts == 0 {
+		t.Error("no RTO fired while SYNs were dying on a dark link")
+	}
+	if got := tn.up.Stats.MediumDrop; got == 0 {
+		t.Error("uplink recorded no dropped SYNs during the outage")
+	}
+}
+
+// TestDoubleSetDownIdempotent: calling SetDown(true) on an
+// already-down link must not re-release in-flight segments (a double
+// pool put would corrupt generation counters), and SetUp is equally
+// idempotent.
+func TestDoubleSetDownIdempotent(t *testing.T) {
+	tn := newTestNet(t, 1*units.Gbps, 50*sim.Millisecond, 0, 1*units.MB)
+	tn.armOwnership(t)
+	pool := tn.net.Pool()
+
+	// Put one segment in flight, then interleave redundant toggles
+	// around its scheduled arrival.
+	s0 := tn.net.NewSegment()
+	s0.PayloadLen = 100
+	delivered := 0
+	tn.up.Send(s0, func(sg *seg.Segment) { delivered++; pool.Put(sg) })
+
+	tn.sim.RunUntil(20 * sim.Millisecond)
+	before := pool.Size()
+	tn.up.SetDown(true)
+	afterFirst := pool.Size()
+	if afterFirst != before+1 {
+		t.Fatalf("first SetDown released %d segments, want 1", afterFirst-before)
+	}
+	drops := tn.up.Stats.MediumDrop
+	tn.up.SetDown(true) // redundant: must be a no-op
+	if got := pool.Size(); got != afterFirst {
+		t.Errorf("double SetDown changed pool size %d -> %d", afterFirst, got)
+	}
+	if tn.up.Stats.MediumDrop != drops {
+		t.Errorf("double SetDown recounted drops: %d -> %d", drops, tn.up.Stats.MediumDrop)
+	}
+	tn.up.SetUp()
+	tn.up.SetUp() // redundant
+	if tn.up.IsDown() {
+		t.Fatal("link still down after SetUp")
+	}
+
+	// The tombstoned arrival must not deliver, and fresh traffic flows.
+	tn.sim.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d packets killed by the outage", delivered)
+	}
+	s1 := tn.net.NewSegment()
+	s1.PayloadLen = 100
+	tn.up.Send(s1, func(sg *seg.Segment) { delivered++; pool.Put(sg) })
+	tn.sim.Run()
+	if delivered != 1 {
+		t.Errorf("delivered %d after recovery, want 1", delivered)
+	}
+}
