@@ -4,7 +4,7 @@ SHA := $(shell git rev-parse --short HEAD)
 # Benchmarks archived per commit and gated on allocs/op by benchjson.
 GATED_BENCHES := BenchmarkSimEventLoop|BenchmarkSegEncodeDecode|BenchmarkSingleDownload4MB|BenchmarkTCPSingle4MB
 
-.PHONY: all build test race vet bench fuzz-smoke cover loadsmoke chaos-smoke
+.PHONY: all build test race vet bench fuzz-smoke cover loadsmoke chaos-smoke sched-smoke
 
 all: vet build test
 
@@ -29,13 +29,29 @@ bench:
 
 # fuzz-smoke gives each native fuzz target a short budget beyond its
 # checked-in corpus, then sweeps the adversarial scenario fuzzer over
-# 200 seeded scenarios with the full invariant checker armed. Any
-# violation prints a one-line replay token (mptcpfuzz -replay seed:mask).
+# 200 seeded scenarios under each registered packet scheduler with the
+# full invariant checker armed. Any violation prints a one-line replay
+# token (mptcpfuzz -replay seed:mask[:sched]).
 FUZZTIME ?= 20s
+FUZZ_SCHEDS := minrtt roundrobin weighted redundant
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSegDecode$$' -fuzztime $(FUZZTIME) ./internal/seg/
 	$(GO) test -run '^$$' -fuzz '^FuzzReorderInsert$$' -fuzztime $(FUZZTIME) ./internal/mptcp/
-	$(GO) run ./cmd/mptcpfuzz -n 200 -seed 1
+	for s in $(FUZZ_SCHEDS); do \
+		$(GO) run ./cmd/mptcpfuzz -n 200 -seed 1 -sched $$s || exit 1; \
+	done
+
+# sched-smoke is the scheduler-matrix gate: the golden export fixture
+# pins minrtt's placement byte-for-byte (any scheduler-layer change
+# that perturbs the default policy fails here), and the conformance
+# suite runs every registered scheduler through the standard scenario
+# battery — zero invariant violations, byte-stream oracle intact,
+# policy properties (RTT preference, rotation, weighted split,
+# zero-stall blackout redundancy) asserted — under the race detector.
+sched-smoke:
+	$(GO) test -count=1 -run '^TestGoldenSmallFlowsExports$$' ./internal/experiment/
+	$(GO) test -race -count=1 -timeout 10m \
+		-run '^TestSchedulerConformance$$|^TestConformanceReplayTokens$$' ./internal/check/
 
 # loadsmoke proves the fleet engine's determinism contract end to end:
 # the same sweep, run serially and with a worker pool, must produce

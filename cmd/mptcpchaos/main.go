@@ -23,6 +23,7 @@ import (
 
 	"mptcplab/internal/chaos"
 	"mptcplab/internal/experiment"
+	"mptcplab/internal/mptcp"
 	"mptcplab/internal/pathmodel"
 	"mptcplab/internal/sim"
 	"mptcplab/internal/units"
@@ -36,17 +37,25 @@ func main() {
 		size      = flag.String("size", "8MB", "download size")
 		wifiProf  = flag.String("wifi", "comcast", "WiFi profile: comcast | coffeeshop")
 		carrier   = flag.String("carrier", "att", "cellular profile: att | verizon | sprint")
+		scheduler = flag.String("scheduler", "", "MPTCP scheduler plugin: minrtt (default) | roundrobin | weighted[:w0;w1;...] | redundant | backup")
 		seed      = flag.Int64("seed", 61, "run seed (same seed + schedule => byte-identical behavior)")
 		deadline  = flag.Duration("deadline", 30*time.Second, "wall-clock budget per run; over-budget runs are killed, not hung (0 = none)")
 		selfCheck = flag.Bool("selfcheck", true, "arm the protocol invariant checker")
 	)
 	flag.Parse()
 
+	// A scheduler typo must die here with a one-line error, not run a
+	// full chaos comparison under a silent fallback policy.
+	if err := mptcp.ValidateScheduler(*scheduler); err != nil {
+		fmt.Fprintln(os.Stderr, "mptcpchaos:", err)
+		os.Exit(1)
+	}
+
 	if *list {
 		listSchedules(os.Stdout)
 		return
 	}
-	if err := run(os.Stdout, *schedule, *transport, *size, *wifiProf, *carrier, *seed, *deadline, *selfCheck); err != nil {
+	if err := run(os.Stdout, *schedule, *transport, *size, *wifiProf, *carrier, *scheduler, *seed, *deadline, *selfCheck); err != nil {
 		fmt.Fprintln(os.Stderr, "mptcpchaos:", err)
 		os.Exit(1)
 	}
@@ -64,7 +73,10 @@ func listSchedules(w io.Writer) {
 	fmt.Fprintln(w, "compose with '+': e.g. 'flap+fade:path=cell;depth=0.5'")
 }
 
-func run(w io.Writer, spec, transport, sizeStr, wifi, carrier string, seed int64, deadline time.Duration, selfCheck bool) error {
+func run(w io.Writer, spec, transport, sizeStr, wifi, carrier, scheduler string, seed int64, deadline time.Duration, selfCheck bool) error {
+	if err := mptcp.ValidateScheduler(scheduler); err != nil {
+		return err
+	}
 	sched, err := chaos.Parse(spec)
 	if err != nil {
 		return err
@@ -92,6 +104,7 @@ func run(w io.Writer, spec, transport, sizeStr, wifi, carrier string, seed int64
 		})
 		return tb.Run(experiment.RunConfig{
 			Transport: tr,
+			Scheduler: scheduler,
 			Size:      size,
 			Chaos:     sched,
 			Deadline:  deadline,

@@ -1,0 +1,54 @@
+package main
+
+import (
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRejectsUnknownScheduler re-executes the test binary as
+// mptcpchaos with a bogus -scheduler and proves the typo dies at
+// flag-parse time — before any chaos run starts: exit code 1, a single
+// error line naming the bad spec, no panic.
+func TestRejectsUnknownScheduler(t *testing.T) {
+	if os.Getenv("MPTCPCHAOS_RUN_MAIN") == "1" {
+		os.Args = []string{"mptcpchaos", "-scheduler", "bogus"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestRejectsUnknownScheduler")
+	cmd.Env = append(os.Environ(), "MPTCPCHAOS_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want the child to exit non-zero, got err=%v; output:\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code %d, want 1; output:\n%s", code, out)
+	}
+	text := strings.TrimSpace(string(out))
+	if strings.Contains(text, "panic") {
+		t.Fatalf("scheduler validation panicked:\n%s", out)
+	}
+	if strings.Count(text, "\n") != 0 {
+		t.Errorf("want a one-line error, got:\n%s", out)
+	}
+	if !strings.HasPrefix(text, "mptcpchaos:") || !strings.Contains(text, `"bogus"`) {
+		t.Errorf("error line %q should name the binary and the bad scheduler", text)
+	}
+}
+
+// TestRunRejectsUnknownScheduler covers the programmatic entry point
+// too: run() must refuse a bad scheduler before building a testbed.
+func TestRunRejectsUnknownScheduler(t *testing.T) {
+	err := run(io.Discard, "outage", "mp2", "1MB", "comcast", "att", "nope", 1, time.Second, true)
+	if err == nil {
+		t.Fatal("run() accepted an unknown scheduler")
+	}
+	if !strings.Contains(err.Error(), `"nope"`) {
+		t.Errorf("error %q does not name the bad scheduler", err)
+	}
+}

@@ -4,7 +4,8 @@
 // windows, address churn, and handover storms — and runs each with the
 // protocol invariant checker armed. On a violation it shrinks the
 // fault script to a minimal reproducer and prints a one-line replay
-// token; `mptcpfuzz -replay seed:mask` re-runs exactly that case.
+// token; `mptcpfuzz -replay seed:mask[:sched]` re-runs exactly that
+// case, under exactly that scheduler plugin.
 package main
 
 import (
@@ -13,16 +14,25 @@ import (
 	"os"
 
 	"mptcplab/internal/check"
+	"mptcplab/internal/mptcp"
 )
 
 func main() {
 	var (
 		n      = flag.Int("n", 100, "number of scenarios to run")
 		seed   = flag.Int64("seed", 1, "base seed; case i runs GenScenario(seed+i)")
-		replay = flag.String("replay", "", "replay one scenario from a seed:mask token")
+		sched  = flag.String("sched", "", "run every generated scenario under this scheduler plugin: minrtt (default) | roundrobin | weighted[:w0;w1;...] | redundant | backup")
+		replay = flag.String("replay", "", "replay one scenario from a seed:mask[:sched] token")
 		v      = flag.Bool("v", false, "log every scenario, not just failures")
 	)
 	flag.Parse()
+
+	// A scheduler typo must die here with a one-line error, not fuzz
+	// hundreds of scenarios under a silent fallback policy.
+	if err := mptcp.ValidateScheduler(*sched); err != nil {
+		fmt.Fprintln(os.Stderr, "mptcpfuzz:", err)
+		os.Exit(1)
+	}
 
 	if *replay != "" {
 		sc, err := check.ParseReplay(*replay)
@@ -41,6 +51,7 @@ func main() {
 	failures := 0
 	for i := 0; i < *n; i++ {
 		sc := check.GenScenario(*seed + int64(i))
+		sc.Scheduler = *sched
 		rep := check.RunScenario(sc, nil)
 		if rep.Ok() {
 			if *v {

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRejectsUnknownScheduler re-executes the test binary as mptcpfuzz
+// with a bogus -sched and proves the typo dies at flag-parse time —
+// before any scenario is generated: exit code 1, a single error line
+// naming the bad spec, no panic.
+func TestRejectsUnknownScheduler(t *testing.T) {
+	if os.Getenv("MPTCPFUZZ_RUN_MAIN") == "1" {
+		os.Args = []string{"mptcpfuzz", "-sched", "bogus"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestRejectsUnknownScheduler")
+	cmd.Env = append(os.Environ(), "MPTCPFUZZ_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want the child to exit non-zero, got err=%v; output:\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code %d, want 1; output:\n%s", code, out)
+	}
+	text := strings.TrimSpace(string(out))
+	if strings.Contains(text, "panic") {
+		t.Fatalf("scheduler validation panicked:\n%s", out)
+	}
+	if strings.Count(text, "\n") != 0 {
+		t.Errorf("want a one-line error, got:\n%s", out)
+	}
+	if !strings.HasPrefix(text, "mptcpfuzz:") || !strings.Contains(text, `"bogus"`) {
+		t.Errorf("error line %q should name the binary and the bad scheduler", text)
+	}
+}

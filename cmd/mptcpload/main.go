@@ -23,6 +23,7 @@ import (
 
 	"mptcplab/internal/chaos"
 	"mptcplab/internal/load"
+	"mptcplab/internal/mptcp"
 	"mptcplab/internal/pathmodel"
 	"mptcplab/internal/sim"
 	"mptcplab/internal/units"
@@ -42,7 +43,7 @@ func main() {
 		mix       = flag.String("mix", "small", "flow size distribution: small | web | heavy | <size>")
 		transport = flag.String("transport", "mptcp", "per-flow stack: mptcp | wifi | cell | wifi=0.3,cell=0.2,mptcp=0.5")
 		cc        = flag.String("cc", "", "MPTCP coupling: coupled (default) | olia | reno")
-		scheduler = flag.String("scheduler", "", "MPTCP scheduler: lowest-rtt (default) | round-robin | backup")
+		scheduler = flag.String("scheduler", "", "MPTCP scheduler plugin: minrtt (default) | roundrobin | weighted[:w0;w1;...] | redundant | backup")
 		wifiProf  = flag.String("wifi", "coffeeshop", "WiFi profile: coffeeshop | wifi")
 		carrier   = flag.String("carrier", "att", "cellular profile: att | verizon | sprint")
 		sample    = flag.Bool("sample", false, "sample per-run link-parameter variation from the seed")
@@ -60,6 +61,10 @@ func main() {
 		resOut    = flag.String("res-out", "", "also write the per-run resilience report (CSV or JSON by extension) — chaos runs only")
 	)
 	flag.Parse()
+
+	// A scheduler typo must die here with a one-line error, not sweep
+	// an entire grid under a silent fallback policy.
+	exitOn(mptcp.ValidateScheduler(*scheduler))
 
 	if *replay != "" {
 		os.Exit(runReplay(os.Stdout, os.Stderr, *replay, *wifiProf, *carrier, *deadline))

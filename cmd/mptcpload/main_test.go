@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestRejectsUnknownScheduler re-executes the test binary as mptcpload
+// with a bogus -scheduler and proves the typo dies at flag-parse time
+// — before any sweep row runs: exit code 1, a single error line naming
+// the bad spec, no panic.
+func TestRejectsUnknownScheduler(t *testing.T) {
+	if os.Getenv("MPTCPLOAD_RUN_MAIN") == "1" {
+		os.Args = []string{"mptcpload", "-scheduler", "weighted:3;oops"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=TestRejectsUnknownScheduler")
+	cmd.Env = append(os.Environ(), "MPTCPLOAD_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want the child to exit non-zero, got err=%v; output:\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code %d, want 1; output:\n%s", code, out)
+	}
+	text := strings.TrimSpace(string(out))
+	if strings.Contains(text, "panic") {
+		t.Fatalf("scheduler validation panicked:\n%s", out)
+	}
+	if strings.Count(text, "\n") != 0 {
+		t.Errorf("want a one-line error, got:\n%s", out)
+	}
+	// mptcpload's exitOn prints the bare error (no binary prefix, the
+	// convention throughout this CLI) — just require the bad spec.
+	if !strings.Contains(text, `"weighted:3;oops"`) {
+		t.Errorf("error line %q should name the bad scheduler spec", text)
+	}
+}

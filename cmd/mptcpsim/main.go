@@ -10,6 +10,7 @@ import (
 	"os"
 
 	"mptcplab/internal/experiment"
+	"mptcplab/internal/mptcp"
 	"mptcplab/internal/pathmodel"
 	"mptcplab/internal/pcap"
 	"mptcplab/internal/stats"
@@ -23,7 +24,7 @@ func main() {
 		carrier    = flag.String("carrier", "att", "att | verizon | sprint")
 		wifi       = flag.String("wifi", "wifi", "wifi | coffeeshop")
 		controller = flag.String("cc", "coupled", "reno | coupled | olia")
-		scheduler  = flag.String("scheduler", "lowest-rtt", "lowest-rtt | round-robin")
+		scheduler  = flag.String("scheduler", "minrtt", "scheduler plugin: minrtt | roundrobin | weighted[:w0;w1;...] | redundant | backup")
 		sizeKB     = flag.Int("size-kb", 4096, "download size in KB")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		simSYN     = flag.Bool("simultaneous-syn", false, "send all subflow SYNs together (§4.1.2)")
@@ -32,6 +33,10 @@ func main() {
 		pcapOut    = flag.String("pcap", "", "write client+server captures to <prefix>-client.pcap / -server.pcap")
 	)
 	flag.Parse()
+
+	// A scheduler typo must die here with a one-line error, not run
+	// the whole simulation under a silent fallback policy.
+	exitOn(mptcp.ValidateScheduler(*scheduler))
 
 	cellProfile, err := pathmodel.ByName(*carrier)
 	exitOn(err)

@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		which   = flag.String("experiment", "all", "comma-separated: fig2,fig4,fig6,fig8,fig9,fig11,fig12,all (aliases: fig3/table2->fig2, fig5/table3->fig4, fig7/table4->fig6, fig10/table5->fig9, fig13/table6->fig12)")
+		which   = flag.String("experiment", "all", "comma-separated: fig2,fig4,fig6,fig8,fig9,fig11,fig12,shootout,all (aliases: fig3/table2->fig2, fig5/table3->fig4, fig7/table4->fig6, fig10/table5->fig9, fig13/table6->fig12, sched->shootout)")
 		reps    = flag.Int("reps", 5, "repetitions per configuration cell")
 		seed    = flag.Int64("seed", 1, "campaign seed")
 		workers = flag.Int("workers", 0, "parallel campaign workers (0 = all CPUs, 1 = serial); results are identical for any value")
@@ -165,6 +165,9 @@ func main() {
 		}
 		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.Backlog(size, bopts) },
 			func(w io.Writer, m *experiment.Matrix) { experiment.WriteDownloadTimes(w, m) }, false})
+	}
+	if want("shootout", "sched") {
+		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.SchedulerShootout(opts) }, timesShareChars, false})
 	}
 	if want("fig12", "fig13", "table6") {
 		campaigns = append(campaigns, campaign{func() *experiment.Matrix { return experiment.LatencyDistribution(opts) },

@@ -81,6 +81,12 @@ type Scenario struct {
 	WiFi, Cell   PathParams
 	Faults       []Fault
 	Mask         uint64
+
+	// Scheduler selects the packet-scheduling plugin ("" = minrtt).
+	// It is not derived from the seed — the fuzzer sweeps the same
+	// seeded scenarios under each scheduler — and rides the replay
+	// token as an optional third field ("seed:mask:sched").
+	Scheduler string
 }
 
 // maxFaults bounds the script length so Mask always fits.
@@ -140,25 +146,40 @@ func (sc Scenario) ActiveFaults() []Fault {
 }
 
 // Replay renders the one-line token that reproduces this scenario.
+// The scheduler appears as a third field only when it differs from
+// the default, so tokens from earlier versions stay canonical.
 func (sc Scenario) Replay() string {
-	return fmt.Sprintf("%d:%x", sc.Seed, sc.Mask)
+	tok := fmt.Sprintf("%d:%x", sc.Seed, sc.Mask)
+	if sc.Scheduler != "" {
+		tok += ":" + sc.Scheduler
+	}
+	return tok
 }
 
-// ParseReplay reconstructs a scenario from a "seed:mask" token (a bare
-// seed means all generated faults active).
+// ParseReplay reconstructs a scenario from a "seed:mask[:sched]"
+// token (a bare seed means all generated faults active under the
+// default scheduler). The scheduler field may itself contain colons
+// ("weighted:3;1") — everything after the second colon is the spec.
 func ParseReplay(tok string) (Scenario, error) {
-	seedStr, maskStr, hasMask := strings.Cut(tok, ":")
+	seedStr, rest, hasMask := strings.Cut(tok, ":")
 	seed, err := strconv.ParseInt(seedStr, 10, 64)
 	if err != nil {
 		return Scenario{}, fmt.Errorf("check: bad replay seed %q: %v", seedStr, err)
 	}
 	sc := GenScenario(seed)
 	if hasMask {
+		maskStr, sched, hasSched := strings.Cut(rest, ":")
 		mask, err := strconv.ParseUint(maskStr, 16, 64)
 		if err != nil {
 			return Scenario{}, fmt.Errorf("check: bad replay mask %q: %v", maskStr, err)
 		}
 		sc.Mask = mask
+		if hasSched {
+			if err := mptcp.ValidateScheduler(sched); err != nil {
+				return Scenario{}, fmt.Errorf("check: bad replay scheduler: %v", err)
+			}
+			sc.Scheduler = sched
+		}
 	}
 	return sc, nil
 }
@@ -265,6 +286,9 @@ func RunScenario(sc Scenario, bug func(*Harness)) Report {
 	cfg.SimultaneousSYN = sc.Simultaneous
 	cfg.TCP.RcvBuf = sc.RcvBuf
 	cfg.RcvBuf = sc.RcvBuf
+	if sc.Scheduler != "" {
+		cfg.Scheduler = sc.Scheduler
+	}
 
 	fs := &web.FileServer{SizeFor: func(int) int { return sc.Size }}
 	srv := mptcp.NewServer(h.Server, n, 8080, cfg, rng.Child("srv"))

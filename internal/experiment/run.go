@@ -49,7 +49,7 @@ func (t Transport) String() string {
 type RunConfig struct {
 	Transport  Transport
 	Controller string // "reno", "coupled", "olia" (default coupled)
-	Scheduler  string // default lowest-rtt
+	Scheduler  string // scheduler plugin spec (default minrtt)
 	Size       units.ByteCount
 
 	SimultaneousSYN bool
@@ -191,7 +191,7 @@ func (rc RunConfig) mptcpConfig() mptcp.Config {
 	cfg := mptcp.DefaultConfig()
 	cfg.TCP = rc.tcpConfig()
 	cfg.Controller = cfg.TCP.Controller
-	cfg.Scheduler = defaultStr(rc.Scheduler, "lowest-rtt")
+	cfg.Scheduler = defaultStr(rc.Scheduler, "minrtt")
 	cfg.SimultaneousSYN = rc.SimultaneousSYN
 	cfg.Penalize = rc.Penalize
 	cfg.RcvBuf = cfg.TCP.RcvBuf

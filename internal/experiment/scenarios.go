@@ -145,6 +145,47 @@ func LatencyDistribution(opts CampaignOpts) *Matrix {
 	return runMatrix("fig12", "Latency distributions (Fig 12/13, Table 6)", rows, LargeFlowSizes, opts)
 }
 
+// ShootoutSizes samples one small-flow and one bulk point — enough to
+// see scheduler policy effects in both regimes without a full grid.
+var ShootoutSizes = []units.ByteCount{256 * units.KB, 4 * units.MB}
+
+// SchedulerShootout crosses the packet schedulers with congestion
+// controllers over two modern path pairings the paper never measured:
+// dual LTE (a second carrier in the WiFi slot, after "Is Two Greater
+// Than One?") and LTE+5G-mmWave with blockage fades. Every cell
+// reports download time, the traffic split, and per-path RTT/loss, so
+// the matrix answers both "which scheduler wins on symmetric cellular
+// paths?" and "can a scheduler exploit a fast fragile path?".
+func SchedulerShootout(opts CampaignOpts) *Matrix {
+	att := pathmodel.ATT()
+	pairings := []struct {
+		tag  string
+		wifi pathmodel.Profile
+	}{
+		{"dual-lte", pathmodel.DualLTE()},
+		{"lte+5g", pathmodel.MmWave5G()},
+	}
+	mk := func(ctrl, sched string) func(units.ByteCount) RunConfig {
+		return func(size units.ByteCount) RunConfig {
+			return RunConfig{Transport: MP2, Controller: ctrl, Scheduler: sched, Size: size}
+		}
+	}
+	var rows []RowSpec
+	for _, pr := range pairings {
+		for _, sched := range []string{"minrtt", "roundrobin", "weighted", "redundant"} {
+			for _, ctrl := range []string{"coupled", "olia"} {
+				rows = append(rows, RowSpec{
+					Label: pr.tag + " " + sched + " (" + ctrl + ")",
+					WiFi:  pr.wifi, Cell: att,
+					Make: mk(ctrl, sched),
+				})
+			}
+		}
+	}
+	return runMatrix("shootout", "Scheduler x CC x profile shootout (dual-LTE and LTE+5G-mmWave pairings)",
+		rows, ShootoutSizes, opts)
+}
+
 // Mobility extends the paper's §6 discussion into a measured campaign:
 // a 16 MB download with a WiFi outage injected mid-transfer, sweeping
 // the outage duration, for single-path TCP, full MPTCP, and MPTCP in

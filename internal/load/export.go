@@ -17,6 +17,7 @@ import (
 type RunExport struct {
 	Rate    float64 `json:"rate_flows_per_s"`
 	Clients int     `json:"clients"`
+	Sched   string  `json:"sched,omitempty"`
 	Rep     int     `json:"rep"`
 	Seed    int64   `json:"seed"`
 	Replay  string  `json:"replay"`
@@ -38,6 +39,13 @@ type RunExport struct {
 	Jain        float64 `json:"jain"`
 	CellShare   float64 `json:"cell_share"`
 
+	// Redundancy accounting (non-zero under the redundant scheduler):
+	// duplicate bytes scheduled by senders and discarded by receivers.
+	// Goodput and delivered-byte metrics above exclude them by
+	// construction.
+	DupTxBytes int64 `json:"dup_tx_bytes,omitempty"`
+	DupRxBytes int64 `json:"dup_rx_bytes,omitempty"`
+
 	APDownUtil   float64 `json:"ap_down_util"`
 	CellDownUtil float64 `json:"cell_down_util"`
 	APDownQDrop  uint64  `json:"ap_down_qdrop"`
@@ -58,9 +66,10 @@ type RunExport struct {
 // per-run Config so any row can be re-executed standalone.
 func exportRun(p SweepPoint, rep int, res *Result, token string) RunExport {
 	e := RunExport{
-		Rate: p.Rate, Clients: p.Clients, Rep: rep,
+		Rate: p.Rate, Clients: p.Clients, Sched: p.Sched, Rep: rep,
 		Seed: res.Seed, Replay: token,
 		Offered: res.Offered, Completed: res.Completed, Incomplete: res.Incomplete,
+		DupTxBytes: res.DupTxBytes, DupRxBytes: res.DupRxBytes,
 		FCTMean:     res.FCT.Mean(),
 		FCTP50:      res.FCT.Quantile(0.50),
 		FCTP90:      res.FCT.Quantile(0.90),
@@ -114,6 +123,9 @@ func (sw *Sweep) Export(base Config) []RunExport {
 			if p.Clients > 0 {
 				cfg.Clients = p.Clients
 			}
+			if p.Sched != "" {
+				cfg.Scheduler = p.Sched
+			}
 			cfg.Seed = res.Seed
 			out = append(out, exportRun(p, rep, res, cfg.ReplayToken()))
 		}
@@ -130,11 +142,12 @@ func (sw *Sweep) WriteJSON(w io.Writer, base Config) error {
 
 // csvHeader lists the exported columns, in order.
 var csvHeader = []string{
-	"rate_flows_per_s", "clients", "rep", "seed",
+	"rate_flows_per_s", "clients", "sched", "rep", "seed",
 	"offered", "completed", "incomplete",
 	"fct_s_mean", "fct_s_p50", "fct_s_p90", "fct_s_p99", "fct_s_max",
 	"fct_small_s_p50", "fct_large_s_p50",
 	"goodput_bps_mean", "jain", "cell_share",
+	"dup_tx_bytes", "dup_rx_bytes",
 	"ap_down_util", "cell_down_util", "ap_down_qdrop", "cell_down_qdrop",
 	"wifi_retrans_pct", "cell_retrans_pct", "violations",
 	"failed", "fail_reason", "replay",
@@ -149,12 +162,13 @@ func (sw *Sweep) WriteCSV(w io.Writer, base Config) error {
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
 	for _, e := range sw.Export(base) {
 		rec := []string{
-			f(e.Rate), strconv.Itoa(e.Clients), strconv.Itoa(e.Rep),
+			f(e.Rate), strconv.Itoa(e.Clients), e.Sched, strconv.Itoa(e.Rep),
 			strconv.FormatInt(e.Seed, 10),
 			strconv.Itoa(e.Offered), strconv.Itoa(e.Completed), strconv.Itoa(e.Incomplete),
 			f(e.FCTMean), f(e.FCTP50), f(e.FCTP90), f(e.FCTP99), f(e.FCTMax),
 			f(e.SmallP50), f(e.LargeP50),
 			f(e.GoodputMean), f(e.Jain), f(e.CellShare),
+			strconv.FormatInt(e.DupTxBytes, 10), strconv.FormatInt(e.DupRxBytes, 10),
 			f(e.APDownUtil), f(e.CellDownUtil),
 			strconv.FormatUint(e.APDownQDrop, 10), strconv.FormatUint(e.CellDownDrop, 10),
 			f(e.WiFiRetransPct), f(e.CellRetransPct),
@@ -214,6 +228,9 @@ func (sw *Sweep) ExportResilience(base Config) []ResilienceExport {
 			}
 			if p.Clients > 0 {
 				cfg.Clients = p.Clients
+			}
+			if p.Sched != "" {
+				cfg.Scheduler = p.Sched
 			}
 			cfg.Seed = res.Seed
 			e := ResilienceExport{

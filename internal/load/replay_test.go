@@ -222,6 +222,8 @@ func TestParseReplayRejectsMalformed(t *testing.T) {
 		"clients=10,chaos=wat",                  // unknown chaos preset
 		"clients=10,chaos=flap:dur=2s;every=1s", // invalid schedule (dur >= every)
 		"clients=10,seed=notanum",               // unparseable integer
+		"clients=10,sched=bogus",                // unknown scheduler
+		"clients=10,sched=weighted:a;b",         // malformed weights
 	}
 	for _, tok := range bad {
 		cfg, err := ParseReplay(tok)

@@ -74,6 +74,14 @@ type Result struct {
 	// Delivered application bytes, all completed flows.
 	BytesDelivered int64
 
+	// Redundancy accounting. Redundant schedulers send each byte once
+	// per path; the extra copies appear here — DupTxBytes scheduled by
+	// server (sender) connections, DupRxBytes discarded by client
+	// reorder buffers — and are excluded from Goodput, BytesDelivered,
+	// and the retransmission counters, which measure useful bytes only.
+	DupTxBytes int64
+	DupRxBytes int64
+
 	// Sender-side per-path accounting (server endpoints, classified by
 	// client address: CGNAT 100.64/10 = cellular).
 	WiFiBytes       int64
@@ -180,6 +188,10 @@ func (r *Result) absorbTx(t *Topology, fl *flow) {
 			add(t.IsCellIP(sf.EP.Remote), sf.EP.Stats.BytesSent, sf.EP.Stats.BytesRetrans,
 				sf.EP.Stats.DataPktsSent, sf.EP.Stats.DataPktsRetrans)
 		}
+		r.DupTxBytes += c.DupTxBytes
+	}
+	if c := fl.clientConn; c != nil {
+		r.DupRxBytes += c.Reorder().DupBytes
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"mptcplab/internal/chaos"
+	"mptcplab/internal/mptcp"
 	"mptcplab/internal/sim"
 	"mptcplab/internal/units"
 )
@@ -27,6 +28,10 @@ type SweepOpts struct {
 	Rates []float64
 	// Clients are the fleet sizes swept; empty means just Base.Clients.
 	Clients []int
+	// Scheds are the packet schedulers swept ("minrtt", "roundrobin",
+	// "weighted[:w0;w1]", "redundant", "backup"); empty means just
+	// Base.Scheduler.
+	Scheds []string
 
 	// Reps per grid point (default 1).
 	Reps int
@@ -64,10 +69,12 @@ func (o SweepOpts) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// SweepPoint is one (rate, clients) grid point's repetitions.
+// SweepPoint is one (rate, clients, scheduler) grid point's
+// repetitions. Sched empty means the Base config's scheduler.
 type SweepPoint struct {
 	Rate    float64
 	Clients int
+	Sched   string
 	Runs    []*Result // indexed by rep
 }
 
@@ -118,17 +125,23 @@ func RunSweep(opts SweepOpts) *Sweep {
 	if len(fleets) == 0 {
 		fleets = []int{opts.Base.Clients}
 	}
+	scheds := opts.Scheds
+	if len(scheds) == 0 {
+		scheds = []string{opts.Base.Scheduler}
+	}
 
 	sw := &Sweep{Workers: opts.workers()}
 	var jobs []sweepJob
 	for _, r := range rates {
 		for _, c := range fleets {
-			pi := len(sw.Points)
-			sw.Points = append(sw.Points, SweepPoint{
-				Rate: r, Clients: c, Runs: make([]*Result, opts.reps()),
-			})
-			for rep := 0; rep < opts.reps(); rep++ {
-				jobs = append(jobs, sweepJob{pi, rep})
+			for _, sched := range scheds {
+				pi := len(sw.Points)
+				sw.Points = append(sw.Points, SweepPoint{
+					Rate: r, Clients: c, Sched: sched, Runs: make([]*Result, opts.reps()),
+				})
+				for rep := 0; rep < opts.reps(); rep++ {
+					jobs = append(jobs, sweepJob{pi, rep})
+				}
 			}
 		}
 	}
@@ -153,6 +166,9 @@ func RunSweep(opts SweepOpts) *Sweep {
 		}
 		if p.Clients > 0 {
 			cfg.Clients = p.Clients
+		}
+		if p.Sched != "" {
+			cfg.Scheduler = p.Sched
 		}
 		cfg.Seed = sweepSeed(opts.Seed, j.point, j.rep)
 		var res *Result
@@ -376,6 +392,11 @@ func (c Config) Validate() error {
 	}
 	if c.Drain < 0 {
 		return fmt.Errorf("load: drain=%v is negative", c.Drain)
+	}
+	if c.Scheduler != "" {
+		if err := mptcp.ValidateScheduler(c.Scheduler); err != nil {
+			return err
+		}
 	}
 	return nil
 }

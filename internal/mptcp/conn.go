@@ -21,7 +21,10 @@ const initialDataSeq uint64 = 1
 type Config struct {
 	TCP        tcp.Config
 	Controller cc.Controller // shared across subflows (coupled/olia/reno)
-	Scheduler  string        // "lowest-rtt" (default) or "round-robin"
+	// Scheduler names the packet-scheduling plugin: "minrtt" (default),
+	// "roundrobin", "weighted[:w0;w1;...]", "redundant", or "backup"
+	// (legacy aliases "lowest-rtt"/"round-robin" still resolve).
+	Scheduler string
 
 	// SimultaneousSYN enables the paper's §4.1.2 patch: all subflow
 	// SYNs leave together instead of the stock behaviour of joining
@@ -50,7 +53,7 @@ func DefaultConfig() Config {
 	return Config{
 		TCP:        t,
 		Controller: cc.Coupled{},
-		Scheduler:  "lowest-rtt",
+		Scheduler:  "minrtt",
 		RcvBuf:     t.RcvBuf,
 	}
 }
@@ -161,6 +164,19 @@ type Conn struct {
 	Penalties uint64
 	// Reinjections counts mappings copied off presumed-dead subflows.
 	Reinjections uint64
+	// DupTxBytes counts payload bytes a redundant scheduler placed as
+	// duplicate copies on extra subflows — sender-side accounting that
+	// lets goodput metrics separate useful bytes from redundancy.
+	DupTxBytes int64
+
+	// Placement telemetry for the scheduler conformance harness:
+	// fresh-chunk placements per subflow index, and how many
+	// consecutive placements landed on a different subflow than the
+	// one before (the alternation a round-robin policy promises).
+	// lastPlace holds index+1 so the zero value means "none yet".
+	placeCounts []int
+	placeSwitch int
+	lastPlace   int
 
 	// Callbacks.
 	OnEstablished func()
@@ -475,11 +491,51 @@ func (c *Conn) pump() {
 		}
 		// Record the mapping before Write: Write transmits segments
 		// synchronously and buildOptions must already see it.
-		sf.mappings = append(sf.mappings, mapping{dataSeq: c.sndNxtData, off: off, length: chunk})
+		start := c.sndNxtData
+		sf.mappings = append(sf.mappings, mapping{dataSeq: start, off: off, length: chunk})
 		c.sndNxtData += uint64(chunk)
+		c.notePlacement(i)
 		sf.EP.Write(int(chunk))
+		// Redundant schedulers place copies of the same data-sequence
+		// range on additional subflows. Copies are marked reinjected so
+		// a dead path never re-sprays data that already exists
+		// elsewhere; the receiver's reorder buffer discards the losers.
+		for _, di := range c.sched.Duplicates(c.subflows, i) {
+			d := c.subflows[di]
+			if d == sf || !d.EP.Established() {
+				continue
+			}
+			d.mappings = append(d.mappings, mapping{dataSeq: start, off: d.EP.WriteOffset(), length: chunk, reinjected: true})
+			d.EP.Write(int(chunk))
+			c.DupTxBytes += chunk
+		}
 	}
 }
+
+// notePlacement records one fresh-chunk placement for the conformance
+// harness's scheduler-behavior metrics. Duplicate copies and
+// reinjections are not placements — only the scheduler's Pick
+// decisions count.
+func (c *Conn) notePlacement(i int) {
+	for len(c.placeCounts) <= i {
+		c.placeCounts = append(c.placeCounts, 0)
+	}
+	c.placeCounts[i]++
+	if c.lastPlace != 0 && c.lastPlace != i+1 {
+		c.placeSwitch++
+	}
+	c.lastPlace = i + 1
+}
+
+// Placements returns the number of fresh chunks the scheduler placed
+// on each subflow, indexed like Subflows().
+func (c *Conn) Placements() []int { return c.placeCounts }
+
+// PlacementSwitches returns how many placements landed on a different
+// subflow than the placement immediately before — the alternation
+// measure the conformance harness uses to tell a round-robin policy
+// from an RTT-greedy one.
+func (c *Conn) PlacementSwitches() int { return c.placeSwitch }
 
 // onSubflowTimeout watches for presumed-dead subflows: after
 // DeadAfterTimeouts consecutive unanswered RTOs the subflow's
@@ -494,27 +550,15 @@ func (c *Conn) onSubflowTimeout(sf *Subflow, consecutive int) {
 	c.reinjectFrom(sf)
 }
 
-// reinjectFrom copies sf's un-data-acked mappings onto a live subflow.
-// The receiver's reorder buffer discards whichever copy loses the
-// race, so correctness is unaffected.
+// reinjectFrom copies sf's un-data-acked mappings onto the subflow
+// the scheduler nominates. The receiver's reorder buffer discards
+// whichever copy loses the race, so correctness is unaffected.
 func (c *Conn) reinjectFrom(dead *Subflow) {
-	var target *Subflow
-	var bestRTT float64
-	for _, sf := range c.subflows {
-		if sf == dead || !sf.EP.Established() {
-			continue
-		}
-		if sf.EP.ConsecutiveTimeouts() >= DeadAfterTimeouts {
-			continue
-		}
-		if rtt := sf.EP.SRTT(); target == nil || rtt < bestRTT {
-			target, bestRTT = sf, rtt
-		}
-	}
-	if target == nil {
+	i := c.sched.ReinjectTarget(c.subflows, dead)
+	if i < 0 || c.subflows[i] == dead {
 		return // nothing alive; retried on the next timeout
 	}
-	c.reinjectVia(dead, target)
+	c.reinjectVia(dead, c.subflows[i])
 }
 
 // maybePenalize implements the v0.86 receive-buffer penalization when

@@ -118,6 +118,51 @@ func TestRoundRobinSchedulerFairOnSymmetricPaths(t *testing.T) {
 	}
 }
 
+// The redundant scheduler sends every byte on both paths: the
+// transfer still delivers exactly once, the sender accounts the extra
+// copies as DupTxBytes (not retransmissions), and the receiver
+// discards and counts them as DupBytes.
+func TestRedundantSchedulerDuplicatesAndDedups(t *testing.T) {
+	p := pathParams{rate: 10 * units.Mbps, prop: 20 * sim.Millisecond, queue: 512 * units.KB}
+	tn := buildTwoPath(t, p, p, false)
+	cfg := DefaultConfig()
+	cfg.Scheduler = "redundant"
+	size := 2 * units.MB
+	cli, srv, _ := tn.download(t, int(size), cfg, false)
+	if srv.DupTxBytes == 0 {
+		t.Error("server scheduled no duplicate bytes under redundant")
+	}
+	// Nearly every byte should ride both paths once the second subflow
+	// joins; allow slack for the pre-join prefix.
+	if srv.DupTxBytes < int64(size)/2 {
+		t.Errorf("DupTxBytes = %d, want most of the %d-byte transfer duplicated", srv.DupTxBytes, size)
+	}
+	rb := cli.Reorder()
+	if rb.DupBytes == 0 {
+		t.Error("client reorder buffer recorded no duplicate bytes")
+	}
+	if rb.Delivered != int64(size) {
+		t.Errorf("delivered %d, want exactly %d (duplicates must not inflate delivery)", rb.Delivered, size)
+	}
+	if err := rb.CheckInvariants(); err != nil {
+		t.Errorf("reorder invariants after redundant transfer: %v", err)
+	}
+	// Duplicate copies are fresh subflow sends, not TCP retransmissions:
+	// per-path sent bytes exceed the file, yet retransmissions stay
+	// bounded by actual loss (none on these clean paths).
+	var sent, retrans int64
+	for _, sf := range srv.Subflows() {
+		sent += sf.EP.Stats.BytesSent
+		retrans += sf.EP.Stats.BytesRetrans
+	}
+	if sent < int64(size)+srv.DupTxBytes {
+		t.Errorf("per-path sent bytes %d below delivered+duplicated %d", sent, int64(size)+srv.DupTxBytes)
+	}
+	if retrans > int64(size)/10 {
+		t.Errorf("redundant copies misaccounted as retransmissions: %d", retrans)
+	}
+}
+
 // Duplicate ADD_ADDR advertisements must not create duplicate subflows.
 func TestDuplicateAddAddrIgnored(t *testing.T) {
 	tn := buildTwoPath(t, defaultWifi(), defaultCell(), true)

@@ -2,7 +2,8 @@
 // subflow endpoints: MP_CAPABLE / ADD_ADDR / MP_JOIN connection
 // establishment (with the stock delayed second SYN of Linux MPTCP
 // v0.86 or the paper's simultaneous-SYN patch, §4.1.2), data-sequence
-// mappings (DSS), a lowest-RTT packet scheduler, coupled congestion
+// mappings (DSS), pluggable packet schedulers (lowest-RTT default,
+// round-robin, weighted, redundant, backup), coupled congestion
 // control across subflows, a shared receive buffer with data-level
 // reordering, and the optional receive-buffer penalization the paper
 // removes for its measurements (§3.1).
@@ -48,6 +49,14 @@ type ReorderBuffer struct {
 	MaxBuffered     int64
 	PacketsInOrder  uint64
 	PacketsOutOrder uint64
+
+	// Duplicate accounting: payload bytes presented more than once at
+	// the data level and discarded here — redundant-scheduler copies,
+	// reinjections that lost the race, and subflow retransmissions
+	// re-presenting delivered ranges. DupPackets counts arrivals that
+	// contributed no new bytes at all.
+	DupBytes   int64
+	DupPackets uint64
 }
 
 // NewReorderBuffer returns an empty buffer expecting data sequence
@@ -73,16 +82,24 @@ func (b *ReorderBuffer) Insert(now sim.Time, start, end uint64, subflow int) {
 		return
 	}
 	// Trim data we already delivered (subflow-level retransmissions
-	// can re-present old ranges).
+	// and redundant-scheduler copies can re-present old ranges).
 	if start < b.rcvNxt {
+		trimTo := end
+		if trimTo > b.rcvNxt {
+			trimTo = b.rcvNxt
+		}
+		b.DupBytes += int64(trimTo - start)
 		start = b.rcvNxt
 	}
 	if end <= start {
+		b.DupPackets++
 		return
 	}
 	// Trim against already-buffered ranges so accounting stays exact.
 	for _, blk := range b.blocks {
 		if blk.start <= start && end <= blk.end {
+			b.DupBytes += int64(end - start)
+			b.DupPackets++
 			return // fully duplicate
 		}
 	}
@@ -135,7 +152,13 @@ func (b *ReorderBuffer) insertBlock(nb ofoBlock) {
 		pieces = append(pieces, ofoBlock{cur, nb.end, nb.arrivedAt, nb.subflow})
 	}
 	b.scratch = pieces
+	var kept int64
+	for _, p := range pieces {
+		kept += int64(p.end - p.start)
+	}
+	b.DupBytes += int64(nb.end-nb.start) - kept
 	if len(pieces) == 0 {
+		b.DupPackets++
 		return
 	}
 	for _, p := range pieces {
@@ -172,6 +195,15 @@ func (b *ReorderBuffer) drain(now sim.Time, delivered *int64) {
 		n := int64(blk.end - blk.start)
 		b.Buffered -= n
 		b.perSubflowOFO[blk.subflow] -= n
+		if blk.start < b.rcvNxt {
+			// The already-covered prefix was superseded by a copy that
+			// arrived in order — duplicate bytes, not deliverable ones.
+			ov := blk.end
+			if ov > b.rcvNxt {
+				ov = b.rcvNxt
+			}
+			b.DupBytes += int64(ov - blk.start)
+		}
 		if blk.end > b.rcvNxt {
 			*delivered += int64(blk.end - b.rcvNxt)
 			b.rcvNxt = blk.end
@@ -230,6 +262,9 @@ func (b *ReorderBuffer) CheckInvariants() error {
 	}
 	if got := int64(b.rcvNxt - b.initial); got != b.Delivered {
 		return fmt.Errorf("reorder: Delivered %d but rcvNxt advanced %d", b.Delivered, got)
+	}
+	if b.DupBytes < 0 {
+		return fmt.Errorf("reorder: DupBytes negative (%d)", b.DupBytes)
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package mptcp
 
 import (
+	"strings"
 	"testing"
 
 	"mptcplab/internal/seg"
@@ -74,17 +75,108 @@ func TestBackupModeHoldsBackupInReserve(t *testing.T) {
 }
 
 func TestNewSchedulerNames(t *testing.T) {
-	for _, name := range []string{"lowest-rtt", "round-robin", "backup", ""} {
+	for _, name := range SchedulerNames() {
 		s := NewScheduler(name)
 		if s == nil {
 			t.Fatalf("NewScheduler(%q) = nil", name)
 		}
-		if name != "" && s.Name() != name {
+		if s.Name() != name {
 			t.Errorf("NewScheduler(%q).Name() = %q", name, s.Name())
 		}
 	}
-	if NewScheduler("bogus").Name() != "lowest-rtt" {
-		t.Error("unknown scheduler should fall back to lowest-rtt")
+	// Legacy aliases resolve to their canonical plugins.
+	for alias, canon := range map[string]string{
+		"": "minrtt", "lowest-rtt": "minrtt", "round-robin": "roundrobin",
+	} {
+		if got := NewScheduler(alias).Name(); got != canon {
+			t.Errorf("NewScheduler(%q).Name() = %q, want %q", alias, got, canon)
+		}
+	}
+	if NewScheduler("bogus").Name() != "minrtt" {
+		t.Error("unknown scheduler should fall back to minrtt")
+	}
+}
+
+func TestParseSchedulerValidation(t *testing.T) {
+	for _, spec := range []string{
+		"minrtt", "roundrobin", "weighted", "redundant", "backup",
+		"lowest-rtt", "round-robin", "", "weighted:3;1", "weighted:0.5;2;1",
+	} {
+		if err := ValidateScheduler(spec); err != nil {
+			t.Errorf("ValidateScheduler(%q) = %v, want nil", spec, err)
+		}
+	}
+	for _, spec := range []string{
+		"bogus", "minrtt:2", "weighted:", "weighted:a;b", "weighted:-1;2", "weighted:0",
+	} {
+		err := ValidateScheduler(spec)
+		if err == nil {
+			t.Errorf("ValidateScheduler(%q) = nil, want error", spec)
+			continue
+		}
+		if s := err.Error(); strings.Contains(s, "\n") {
+			t.Errorf("ValidateScheduler(%q) error spans lines: %q", spec, s)
+		}
+	}
+	s, err := ParseScheduler("weighted:3;1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Name(); got != "weighted:3;1" {
+		t.Errorf("weighted spec round-trip: Name() = %q", got)
+	}
+}
+
+func TestWeightedPickFollowsDeficit(t *testing.T) {
+	fast, slow, _ := mkSubflows(t)
+	w := &Weighted{Weights: []float64{3, 1}}
+	sfs := []*Subflow{fast, slow}
+	// Nothing written yet: both deficits are zero, lowest index wins.
+	if got := w.Pick(sfs); got != 0 {
+		t.Fatalf("initial pick %d, want 0", got)
+	}
+	// Load subflow 0 well past 3x subflow 1: deficit moves to 1.
+	fast.EP.Write(6000)
+	slow.EP.Write(1000)
+	if got := w.Pick(sfs); got != 1 {
+		t.Errorf("pick %d after 6000/1000 bytes at weights 3:1, want 1", got)
+	}
+	// And beyond the ratio the other way.
+	slow.EP.Write(4000)
+	if got := w.Pick(sfs); got != 0 {
+		t.Errorf("pick %d after 6000/5000 bytes at weights 3:1, want 0", got)
+	}
+}
+
+func TestRedundantDuplicatesOnAllEstablished(t *testing.T) {
+	fast, slow, _ := mkSubflows(t)
+	r := &Redundant{}
+	sfs := []*Subflow{fast, slow}
+	if got := r.Pick(sfs); got != 0 {
+		t.Fatalf("primary pick %d, want the fast path", got)
+	}
+	dups := r.Duplicates(sfs, 0)
+	if len(dups) != 1 || dups[0] != 1 {
+		t.Errorf("Duplicates = %v, want [1]", dups)
+	}
+	// A window-limited path still carries copies (they queue), but a
+	// non-established one must not.
+	slow.EP.Write(int(slow.EP.SendSpace()))
+	if dups := r.Duplicates(sfs, 0); len(dups) != 1 {
+		t.Errorf("window-limited duplicate target dropped: %v", dups)
+	}
+}
+
+func TestSingleCopySchedulersNeverDuplicate(t *testing.T) {
+	fast, slow, _ := mkSubflows(t)
+	sfs := []*Subflow{fast, slow}
+	for _, name := range []string{"minrtt", "roundrobin", "weighted", "backup"} {
+		s := NewScheduler(name)
+		if i := s.Pick(sfs); i >= 0 {
+			if dups := s.Duplicates(sfs, i); len(dups) != 0 {
+				t.Errorf("%s.Duplicates = %v, want none", name, dups)
+			}
+		}
 	}
 }
 

@@ -37,6 +37,7 @@ const (
 	WiFi Tech = iota
 	LTE
 	EVDO
+	NR // 5G New Radio (mmWave)
 )
 
 // String names the technology.
@@ -48,6 +49,8 @@ func (t Tech) String() string {
 		return "4G LTE"
 	case EVDO:
 		return "3G EVDO"
+	case NR:
+		return "5G NR"
 	default:
 		return "unknown"
 	}
@@ -167,8 +170,62 @@ func Sprint() Profile {
 	}
 }
 
+// DualLTE is a second 4G carrier for the "Is Two Greater Than One?"
+// dual-LTE pairing (PAPERS.md): instead of WiFi+cellular, the client
+// bonds two macro-cell LTE attachments. Its character sits between
+// AT&T and Verizon — similar RTT floor, deep bufferbloat-prone queue —
+// but the two carriers never share a bottleneck, so path coupling
+// comes only from the congestion controller. Use it in the WiFi slot
+// of a two-path topology (classification there is by address, not
+// technology).
+func DualLTE() Profile {
+	return Profile{
+		Name: "dual-lte", Tech: LTE,
+		DownRate: 15 * units.Mbps, UpRate: 8 * units.Mbps,
+		OWD:       22 * sim.Millisecond,
+		DownQueue: 1 * units.MB, UpQueue: 256 * units.KB,
+		ARQ:        &netem.ARQ{PLoss: 0.08, MaxRetries: 3, RetryDelay: 7 * sim.Millisecond},
+		DownJitter: netem.LogNormalJitter{Mu: 1.0, Sigma: 0.8, Max: 250 * sim.Millisecond},
+		UpJitter:   netem.LogNormalJitter{Mu: 0.8, Sigma: 0.7, Max: 180 * sim.Millisecond},
+		Promotion:  250 * sim.Millisecond, DemoteAfter: 10 * sim.Second,
+		Spread: 0.20,
+	}
+}
+
+// MmWave5G is a 5G NR mmWave attachment with blockage fades: an order
+// of magnitude more capacity than LTE at a fraction of the base
+// delay, but the beam is fragile — a pedestrian or a hand in the
+// Fresnel zone drops the link into a deep fade for tens of packets
+// (the long-dwell Gilbert-Elliott bad state) and beam re-steering
+// adds heavy-tailed stalls. Pairing it with an LTE anchor
+// ("lte-5g-mmwave-fade") is the modern NSA dual-connectivity
+// question: can MPTCP ride the fast fragile path and fall back
+// cleanly when it fades?
+func MmWave5G() Profile {
+	return Profile{
+		Name: "5g-mmwave-fade", Tech: NR,
+		DownRate: 120 * units.Mbps, UpRate: 40 * units.Mbps,
+		OWD:       4 * sim.Millisecond,
+		DownQueue: 2 * units.MB, UpQueue: 512 * units.KB,
+		// Blockage: rare entry into a long (mean 50-packet) bad state
+		// that kills half the packets — a fade, not steady loss.
+		GEDown: &netem.GilbertElliottParams{PGood: 0.0005, PBad: 0.5, PGB: 0.0015, PBG: 0.02},
+		GEUp:   &netem.GilbertElliottParams{PGood: 0.0005, PBad: 0.4, PGB: 0.001, PBG: 0.03},
+		DownJitter: netem.ParetoTailJitter{
+			Base:  netem.UniformJitter{Lo: 0, Hi: 2 * sim.Millisecond},
+			PTail: 0.01, Xm: 20, Alpha: 1.4, Max: 400 * sim.Millisecond,
+		},
+		UpJitter: netem.ParetoTailJitter{
+			Base:  netem.UniformJitter{Lo: 0, Hi: 2 * sim.Millisecond},
+			PTail: 0.01, Xm: 15, Alpha: 1.4, Max: 300 * sim.Millisecond,
+		},
+		Promotion: 30 * sim.Millisecond, DemoteAfter: 5 * sim.Second,
+		Spread: 0.30,
+	}
+}
+
 // ByName looks a profile up ("wifi", "coffeeshop", "att", "verizon",
-// "sprint").
+// "sprint", "dual-lte", "5g-mmwave-fade").
 func ByName(name string) (Profile, error) {
 	switch name {
 	case "wifi", "comcast":
@@ -181,6 +238,10 @@ func ByName(name string) (Profile, error) {
 		return Verizon(), nil
 	case "sprint":
 		return Sprint(), nil
+	case "dual-lte", "lte-b":
+		return DualLTE(), nil
+	case "5g-mmwave-fade", "lte-5g-mmwave-fade", "mmwave", "5g":
+		return MmWave5G(), nil
 	default:
 		return Profile{}, fmt.Errorf("pathmodel: unknown profile %q", name)
 	}

@@ -8,13 +8,57 @@ import (
 )
 
 func TestByName(t *testing.T) {
-	for _, name := range []string{"wifi", "comcast", "coffeeshop", "att", "verizon", "sprint"} {
+	for _, name := range []string{
+		"wifi", "comcast", "coffeeshop", "att", "verizon", "sprint",
+		"dual-lte", "lte-b", "5g-mmwave-fade", "lte-5g-mmwave-fade", "mmwave",
+	} {
 		if _, err := ByName(name); err != nil {
 			t.Errorf("ByName(%q): %v", name, err)
 		}
 	}
 	if _, err := ByName("tmobile"); err == nil {
 		t.Error("unknown profile accepted")
+	}
+}
+
+func TestModernProfilesCharacterization(t *testing.T) {
+	lte2, mm := DualLTE(), MmWave5G()
+	att := ATT()
+
+	// The second LTE carrier behaves like a 4G macro cell: ARQ-backed
+	// (near-zero residual loss), promoted radio, LTE-class base delay.
+	if lte2.Tech != LTE || lte2.ARQ == nil || lte2.Promotion == 0 {
+		t.Error("dual-lte is not an LTE-class carrier")
+	}
+	if lte2.GEDown != nil {
+		t.Error("dual-lte should hide radio loss behind ARQ, not expose medium loss")
+	}
+	if lte2.OWD < 15*sim.Millisecond || lte2.OWD > 40*sim.Millisecond {
+		t.Errorf("dual-lte OWD %v outside the LTE band", lte2.OWD)
+	}
+
+	// mmWave: much faster and lower-latency than any LTE carrier, but
+	// fade-prone — a Gilbert-Elliott bad state with a long dwell.
+	if mm.Tech != NR {
+		t.Error("5g-mmwave-fade should be NR tech")
+	}
+	if mm.DownRate < 5*att.DownRate {
+		t.Errorf("mmWave down rate %v not an order beyond LTE %v", mm.DownRate, att.DownRate)
+	}
+	if mm.OWD >= att.OWD {
+		t.Errorf("mmWave OWD %v not below LTE %v", mm.OWD, att.OWD)
+	}
+	if mm.GEDown == nil {
+		t.Fatal("mmWave lacks the blockage-fade loss model")
+	}
+	if dwell := 1 / mm.GEDown.PBG; dwell < 20 {
+		t.Errorf("mmWave fade dwell %.0f packets too short to be a blockage", dwell)
+	}
+	if mm.GEDown.PBad < 0.3 {
+		t.Errorf("mmWave fade loss %.2f too mild", mm.GEDown.PBad)
+	}
+	if NR.String() == "unknown" {
+		t.Error("NR tech unnamed")
 	}
 }
 
