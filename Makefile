@@ -4,7 +4,7 @@ SHA := $(shell git rev-parse --short HEAD)
 # Benchmarks archived per commit and gated on allocs/op by benchjson.
 GATED_BENCHES := BenchmarkSimEventLoop|BenchmarkSegEncodeDecode|BenchmarkSingleDownload4MB|BenchmarkTCPSingle4MB
 
-.PHONY: all build test race vet bench fuzz-smoke cover loadsmoke chaos-smoke sched-smoke
+.PHONY: all build test race vet bench bench-diff fuzz-smoke cover loadsmoke chaos-smoke sched-smoke
 
 all: vet build test
 
@@ -27,6 +27,15 @@ bench:
 	$(GO) test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem . \
 		| $(GO) run ./cmd/benchjson -o BENCH_$(SHA).json
 
+# bench-diff additionally compares the gated benchmarks against the
+# committed BENCH_baseline.json and fails on a >10% regression in
+# ns/op or allocs/op. A perf PR that deliberately moves the numbers
+# refreshes the baseline (and archives its BENCH_<sha>.json point).
+BENCH_BASELINE ?= BENCH_baseline.json
+bench-diff:
+	$(GO) test -run '^$$' -bench '$(GATED_BENCHES)' -benchmem . \
+		| $(GO) run ./cmd/benchjson -baseline $(BENCH_BASELINE) -o BENCH_$(SHA).json
+
 # fuzz-smoke gives each native fuzz target a short budget beyond its
 # checked-in corpus, then sweeps the adversarial scenario fuzzer over
 # 200 seeded scenarios under each registered packet scheduler with the
@@ -37,6 +46,7 @@ FUZZ_SCHEDS := minrtt roundrobin weighted redundant
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSegDecode$$' -fuzztime $(FUZZTIME) ./internal/seg/
 	$(GO) test -run '^$$' -fuzz '^FuzzReorderInsert$$' -fuzztime $(FUZZTIME) ./internal/mptcp/
+	$(GO) test -run '^$$' -fuzz '^FuzzTimerWheel$$' -fuzztime $(FUZZTIME) ./internal/sim/
 	for s in $(FUZZ_SCHEDS); do \
 		$(GO) run ./cmd/mptcpfuzz -n 200 -seed 1 -sched $$s || exit 1; \
 	done

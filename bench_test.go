@@ -734,3 +734,36 @@ func TestReorderBufferAllocFree(t *testing.T) {
 		t.Errorf("reorder insert+heal allocates %v objects per packet pair, want 0", a)
 	}
 }
+
+// TestDownloadAllocBudget bounds a complete 4 MB download — testbed
+// construction included — end to end. The ceilings sit ~25% above the
+// measured totals after the timer-wheel/batch-delivery/arena round
+// (~690 allocs for MP2, ~360 for single-path TCP, from ~54k and ~41k
+// two rounds earlier), so a change that reintroduces per-packet or
+// per-event allocation anywhere in the stack fails this test long
+// before it shows up in EXPERIMENTS.md.
+func TestDownloadAllocBudget(t *testing.T) {
+	budgets := []struct {
+		transport experiment.Transport
+		limit     float64
+	}{
+		{experiment.MP2, 900},
+		{experiment.SPWiFi, 500},
+	}
+	for _, bt := range budgets {
+		run := func() {
+			tb := experiment.NewTestbed(experiment.TestbedConfig{
+				WiFi: pathmodel.ComcastHome(), Cell: pathmodel.ATT(),
+				SampleProfiles: true, WarmRadio: true, Seed: 1,
+			})
+			res := tb.Run(experiment.RunConfig{Transport: bt.transport, Size: 4 * units.MB})
+			if !res.Completed {
+				t.Fatal("download failed")
+			}
+		}
+		run() // warm shared package state before counting
+		if a := testing.AllocsPerRun(5, run); a > bt.limit {
+			t.Errorf("%v 4MB download allocates %v objects, budget %v", bt.transport, a, bt.limit)
+		}
+	}
+}

@@ -8,6 +8,11 @@
 //
 //	go test -run '^$' -bench . -benchmem . | benchjson -o BENCH_abc123.json
 //
+// With -baseline it additionally diffs the gated benchmarks against a
+// committed BENCH_*.json and fails on a >10% (-maxregress) regression
+// in ns/op or allocs/op, so a perf slide is caught at the PR that
+// introduces it rather than discovered in a later speed round.
+//
 // Input lines are echoed to stderr so the benchmark output stays
 // visible in CI logs.
 package main
@@ -23,15 +28,16 @@ import (
 )
 
 // allocGates pins allocs/op ceilings for the pooled hot path. The
-// SingleDownload ceiling is 70% of the pre-pooling baseline (168910
-// allocs/op), the PR's acceptance bar; the optimized path measures
-// ~1.8k, so any regression back toward per-packet allocation trips it
-// long before the baseline returns.
+// download ceilings sit ~25% above what the timer-wheel / batched-
+// delivery / arena-reuse round measures (~690 and ~360 allocs per 4 MB
+// download, from 168910 and 79247 before the two speed rounds), so any
+// regression back toward per-packet or per-event allocation trips the
+// gate long before the old numbers return.
 var allocGates = map[string]float64{
 	"BenchmarkSimEventLoop":      0,
 	"BenchmarkSegEncodeDecode":   4,
-	"BenchmarkSingleDownload4MB": 118237,
-	"BenchmarkTCPSingle4MB":      55472, // 70% of the 79247 baseline
+	"BenchmarkSingleDownload4MB": 900,
+	"BenchmarkTCPSingle4MB":      500,
 }
 
 // Result is one benchmark line.
@@ -48,6 +54,8 @@ type Result struct {
 func main() {
 	out := flag.String("o", "", "write the JSON report to this file (default stdout)")
 	noGates := flag.Bool("nogates", false, "parse and report only; skip the alloc-gate check")
+	baseline := flag.String("baseline", "", "BENCH_*.json to diff the gated benchmarks against")
+	maxRegress := flag.Float64("maxregress", 0.10, "fail when a gated benchmark regresses vs -baseline by more than this fraction in ns/op or allocs/op")
 	flag.Parse()
 
 	var results []Result
@@ -104,9 +112,69 @@ func main() {
 				r.Name, r.AllocsPerOp, limit)
 		}
 	}
+	if *baseline != "" && !diffBaseline(results, *baseline, *maxRegress) {
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// diffBaseline compares the gated benchmarks against an archived
+// report, returning false on any regression beyond maxRegress. Gated
+// benchmarks missing from either side are reported but not fatal: the
+// baseline may predate a benchmark, and renames should not brick CI.
+// Allocation counts are deterministic so they get the same relative
+// bound as time; a zero-alloc baseline requires staying at zero.
+func diffBaseline(results []Result, path string, maxRegress float64) bool {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		return false
+	}
+	var base []Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: parsing %s: %v\n", path, err)
+		return false
+	}
+	byName := make(map[string]Result, len(base))
+	for _, r := range base {
+		byName[baseName(r.Name)] = r
+	}
+	ok := true
+	for _, r := range results {
+		name := baseName(r.Name)
+		if _, gated := allocGates[name]; !gated {
+			continue
+		}
+		b, found := byName[name]
+		if !found {
+			fmt.Fprintf(os.Stderr, "benchjson: baseline %s has no %s; skipping diff\n", path, name)
+			continue
+		}
+		for _, m := range []struct {
+			metric    string
+			now, then float64
+		}{
+			{"ns/op", r.NsPerOp, b.NsPerOp},
+			{"allocs/op", r.AllocsPerOp, b.AllocsPerOp},
+		} {
+			switch {
+			case m.then == 0 && m.now > 0:
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s %s rose from 0 to %.2f\n",
+					name, m.metric, m.now)
+				ok = false
+			case m.then > 0 && m.now > m.then*(1+maxRegress):
+				fmt.Fprintf(os.Stderr, "benchjson: REGRESSION: %s %s %.2f vs baseline %.2f (+%.1f%%, allowed +%.0f%%)\n",
+					name, m.metric, m.now, m.then, (m.now/m.then-1)*100, maxRegress*100)
+				ok = false
+			default:
+				fmt.Fprintf(os.Stderr, "benchjson: baseline ok: %s %s %.2f vs %.2f\n",
+					name, m.metric, m.now, m.then)
+			}
+		}
+	}
+	return ok
 }
 
 // baseName strips the -<GOMAXPROCS> suffix go test appends.

@@ -257,20 +257,28 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 	start := time.Now()
 	var busy atomic.Int64
 
-	// runJob executes one job on a private testbed. It only reads the
+	// runJob executes one job on the worker's private testbed, inside a
+	// containment boundary: a panic anywhere in the run becomes a
+	// failed-run result (one-line reason, no stack) instead of killing
+	// the worker and tearing down the campaign. It only reads the
 	// (frozen) rows, cells, and jobs slices, so any number of runJob
-	// calls may proceed concurrently.
-	// runJob executes one job on a private testbed, inside a containment
-	// boundary: a panic anywhere in the run becomes a failed-run result
-	// (one-line reason, no stack) instead of killing the worker and
-	// tearing down the campaign.
-	runJob := func(j matrixJob) RunResult {
+	// calls may proceed concurrently as long as each has its own
+	// testbed slot.
+	//
+	// Each worker owns one *Testbed across its whole job stream: the
+	// first job builds it, later jobs Reset it in place (same simulator
+	// and pools, rebuilt topology). Runs are byte-identical either way,
+	// so exports stay invariant across worker counts and across the
+	// fresh-vs-reused boundary. After a contained panic the testbed is
+	// discarded — its mid-run state is arbitrary — and the next job
+	// starts fresh.
+	runJob := func(worker **Testbed, j matrixJob) RunResult {
 		t0 := time.Now()
 		row := rows[j.row]
 		cell := m.Rows[j.row].Cells[j.col]
 		var res RunResult
 		if err := chaos.Contain(func() {
-			tb := NewTestbed(TestbedConfig{
+			cfg := TestbedConfig{
 				WiFi:              row.WiFi,
 				Cell:              row.Cell,
 				ServerSecondIface: cell.Config.Transport == MP4,
@@ -279,12 +287,18 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 				Period:            pathmodel.AllPeriods[j.rep%len(pathmodel.AllPeriods)],
 				WarmRadio:         true,
 				Seed:              jobSeed(opts.Seed, j.row, j.col, j.rep),
-			})
-			if testMatrixHook != nil {
-				testMatrixHook(tb)
 			}
-			res = tb.Run(cell.Config)
+			if *worker == nil {
+				*worker = NewTestbed(cfg)
+			} else {
+				(*worker).Reset(cfg)
+			}
+			if testMatrixHook != nil {
+				testMatrixHook(*worker)
+			}
+			res = (*worker).Run(cell.Config)
 		}); err != nil {
+			*worker = nil
 			res = RunResult{}
 			res.FailReason, _, _ = strings.Cut(err.Error(), "\n")
 		}
@@ -293,12 +307,14 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 	}
 
 	if m.Workers <= 1 {
-		// Legacy serial path: absorb each result as it lands.
+		// Legacy serial path: absorb each result as it lands, reusing
+		// one testbed across the whole campaign.
+		var tb *Testbed
 		for k, j := range jobs {
 			if opts.cancelled() {
 				break
 			}
-			res := runJob(j)
+			res := runJob(&tb, j)
 			m.TotalEvents += res.Events
 			m.absorbViolations(res)
 			m.Rows[j.row].Cells[j.col].absorb(res)
@@ -320,6 +336,7 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				var tb *Testbed
 				for {
 					if opts.cancelled() {
 						return
@@ -328,7 +345,7 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 					if k >= len(jobs) {
 						return
 					}
-					results[k] = runJob(jobs[k])
+					results[k] = runJob(&tb, jobs[k])
 					executed[k] = true
 					if opts.Progress != nil {
 						progressMu.Lock()

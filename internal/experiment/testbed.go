@@ -47,8 +47,9 @@ type TestbedConfig struct {
 
 // Testbed is one materialized client/server/network instance. Each
 // measurement run gets a fresh testbed (fresh simulator, fresh
-// endpoints): the paper's server also disables metric caching between
-// connections (§3.1).
+// endpoints) or a Reset one — same simulator and warm pools, rebuilt
+// topology and endpoints, observationally identical: the paper's
+// server also disables metric caching between connections (§3.1).
 type Testbed struct {
 	Sim    *sim.Simulator
 	Net    *netem.Network
@@ -81,18 +82,40 @@ type Testbed struct {
 // Figure 11).
 func NewTestbed(cfg TestbedConfig) *Testbed {
 	s := sim.New()
-	rng := sim.NewRNG(cfg.Seed)
-	n := netem.NewNetwork(s)
+	tb := &Testbed{Sim: s, Net: netem.NewNetwork(s)}
+	tb.build(cfg)
+	return tb
+}
 
-	tb := &Testbed{
-		Sim: s, Net: n, RNG: rng, cfg: cfg,
-		Client:   n.NewHost("client"),
-		Server:   n.NewHost("umass-server"),
-		WiFiAddr: seg.MakeAddr(ClientWiFiIP, 40000),
-		CellAddr: seg.MakeAddr(ClientCellIP, 40001),
-		SrvAddr:  seg.MakeAddr(ServerIP1, ServerPort),
-		SrvAddr2: seg.MakeAddr(ServerIP2, ServerPort),
-	}
+// Reset re-materializes the testbed for a new measurement run while
+// reusing the simulator, the network, and their warm pools (event
+// records, timer records, segments). The simulator's clock and
+// tie-break counter restart from zero and every host, link, and route
+// is rebuilt from the config, so a run on a reused testbed is
+// byte-identical to the same run on a fresh one — the arena-reuse path
+// sweep workers use to stop rebuilding the world once per job.
+func (tb *Testbed) Reset(cfg TestbedConfig) {
+	tb.Sim.Reset()
+	tb.Net.Reset()
+	tb.mon = nil
+	tb.clientConn = nil
+	tb.nextPort = 0
+	tb.build(cfg)
+}
+
+// build materializes the topology onto the testbed's simulator and
+// network, which must be fresh or freshly Reset.
+func (tb *Testbed) build(cfg TestbedConfig) {
+	s := tb.Sim
+	rng := sim.NewRNG(cfg.Seed)
+	tb.RNG = rng
+	tb.cfg = cfg
+	tb.Client = tb.Net.NewHost("client")
+	tb.Server = tb.Net.NewHost("umass-server")
+	tb.WiFiAddr = seg.MakeAddr(ClientWiFiIP, 40000)
+	tb.CellAddr = seg.MakeAddr(ClientCellIP, 40001)
+	tb.SrvAddr = seg.MakeAddr(ServerIP1, ServerPort)
+	tb.SrvAddr2 = seg.MakeAddr(ServerIP2, ServerPort)
 
 	wifi, cell := cfg.WiFi, cfg.Cell
 	if cfg.UsePeriod {
@@ -132,7 +155,6 @@ func NewTestbed(cfg TestbedConfig) *Testbed {
 	if cfg.WarmRadio && tb.CellRadio != nil {
 		tb.CellRadio.Warm()
 	}
-	return tb
 }
 
 // IsCellIP reports whether an address belongs to the client's cellular

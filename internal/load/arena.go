@@ -1,0 +1,41 @@
+package load
+
+import (
+	"mptcplab/internal/netem"
+	"mptcplab/internal/sim"
+)
+
+// Arena is the reusable substrate a fleet run executes on: one
+// simulator and one network whose pools (event records, timer records,
+// segments) stay warm across runs. A sweep worker drives its whole job
+// stream through a single arena, resetting it between jobs instead of
+// rebuilding the world — the same pattern the experiment matrix uses
+// with Testbed.Reset. Because Simulator.Reset restarts the clock and
+// the tie-break counter and Network.Reset drops every host and route,
+// a run on a reused arena is byte-identical to the same run on a fresh
+// one.
+type Arena struct {
+	sim *sim.Simulator
+	net *netem.Network
+}
+
+// NewArena builds an empty arena with cold pools.
+func NewArena() *Arena {
+	s := sim.New()
+	return &Arena{sim: s, net: netem.NewNetwork(s)}
+}
+
+// reset prepares the arena for its next run. Cheap on a fresh arena.
+func (a *Arena) reset() {
+	a.sim.Reset()
+	a.net.Reset()
+}
+
+// RunIn executes one fleet workload on a reused arena and returns its
+// streaming-stats result, exactly as Run does on a fresh one. The
+// arena must not be shared between goroutines.
+func RunIn(a *Arena, cfg Config) *Result {
+	a.reset()
+	res, _ := runFleetIn(a, cfg)
+	return res
+}

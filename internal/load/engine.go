@@ -174,8 +174,13 @@ func Run(cfg Config) *Result {
 // runFleet is Run plus the engine handle, for tests that assert on
 // internal state (live-flow maps drained, bounded stats).
 func runFleet(cfg Config) (*Result, *fleet) {
+	return runFleetIn(NewArena(), cfg)
+}
+
+// runFleetIn executes one run on a prepared (fresh or reset) arena.
+func runFleetIn(a *Arena, cfg Config) (*Result, *fleet) {
 	cfg = cfg.withDefaults()
-	s := sim.New()
+	s := a.sim
 	rng := sim.NewRNG(cfg.Seed)
 
 	wifi, cell := cfg.WiFi, cfg.Cell
@@ -183,7 +188,7 @@ func runFleet(cfg Config) (*Result, *fleet) {
 		wifi = wifi.Sample(rng.Child("wifi-sample"))
 		cell = cell.Sample(rng.Child("cell-sample"))
 	}
-	topo := NewTopology(s, rng.Child("topo"), wifi, cell, cfg.Clients)
+	topo := NewTopology(a.net, rng.Child("topo"), wifi, cell, cfg.Clients)
 
 	f := &fleet{
 		cfg:          cfg,

@@ -155,8 +155,11 @@ func RunSweep(opts SweepOpts) *Sweep {
 	// runJob executes one run inside a containment boundary: a panic
 	// anywhere in the stack becomes a structured failed-run row (with
 	// the run's seed and replay token still derivable) instead of
-	// killing the worker and tearing down the sweep.
-	runJob := func(j sweepJob) *Result {
+	// killing the worker and tearing down the sweep. Each worker reuses
+	// one arena across its job stream (warm pools, byte-identical
+	// results); a contained panic leaves the arena mid-run, so it is
+	// discarded and the next job builds a fresh one.
+	runJob := func(worker **Arena, j sweepJob) *Result {
 		t0 := time.Now()
 		cfg := opts.Base
 		p := sw.Points[j.point]
@@ -171,8 +174,12 @@ func RunSweep(opts SweepOpts) *Sweep {
 			cfg.Scheduler = p.Sched
 		}
 		cfg.Seed = sweepSeed(opts.Seed, j.point, j.rep)
+		if *worker == nil {
+			*worker = NewArena()
+		}
 		var res *Result
-		if err := chaos.Contain(func() { res = Run(cfg) }); err != nil {
+		if err := chaos.Contain(func() { res = RunIn(*worker, cfg) }); err != nil {
+			*worker = nil
 			res = failedResult(cfg, err)
 		}
 		busy.Add(int64(time.Since(t0)))
@@ -195,11 +202,12 @@ func RunSweep(opts SweepOpts) *Sweep {
 	}
 
 	if sw.Workers <= 1 {
+		var arena *Arena
 		for k, j := range jobs {
 			if opts.cancelled() {
 				break
 			}
-			absorb(j, runJob(j))
+			absorb(j, runJob(&arena, j))
 			if opts.Progress != nil {
 				opts.Progress(k+1, len(jobs))
 			}
@@ -217,6 +225,7 @@ func RunSweep(opts SweepOpts) *Sweep {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				var arena *Arena
 				for {
 					if opts.cancelled() {
 						return
@@ -225,7 +234,7 @@ func RunSweep(opts SweepOpts) *Sweep {
 					if k >= len(jobs) {
 						return
 					}
-					results[k] = runJob(jobs[k])
+					results[k] = runJob(&arena, jobs[k])
 					if opts.Progress != nil {
 						progressMu.Lock()
 						done++

@@ -82,17 +82,17 @@ func clientIPs(i int) (wifi, cell [4]byte) {
 		[4]byte{100, byte(64 + i>>8), byte(i), 2}
 }
 
-// NewTopology builds the fleet network on a fresh simulator: the WiFi
-// profile becomes the shared AP, the cellular profile the shared
-// sector, and every client's two paths to the server run through them.
-// Sharing is the point — netem links serialize all routes that traverse
-// them, so client contention emerges from the same queueing mechanics
-// as the single-client testbed's self-congestion.
-func NewTopology(s *sim.Simulator, rng *sim.RNG, wifi, cell pathmodel.Profile, clients int) *Topology {
+// NewTopology builds the fleet network onto an empty (fresh or freshly
+// Reset) network: the WiFi profile becomes the shared AP, the cellular
+// profile the shared sector, and every client's two paths to the server
+// run through them. Sharing is the point — netem links serialize all
+// routes that traverse them, so client contention emerges from the same
+// queueing mechanics as the single-client testbed's self-congestion.
+func NewTopology(n *netem.Network, rng *sim.RNG, wifi, cell pathmodel.Profile, clients int) *Topology {
 	if clients < 1 || clients > MaxClients {
 		panic(fmt.Sprintf("load: %d clients outside [1,%d]", clients, MaxClients))
 	}
-	n := netem.NewNetwork(s)
+	s := n.Sim()
 	t := &Topology{
 		Sim: s, Net: n,
 		Server:  n.NewHost("fleet-server"),

@@ -94,11 +94,25 @@ type Link struct {
 
 	// Per-packet event state rides in FIFO rings matched to the two
 	// prebound callbacks below, so Send schedules events without
-	// allocating a closure or an event-name string per packet. See ring.
+	// allocating a closure or an event-name string per packet. Each
+	// ring keeps at most ONE event in the simulator's heap — the head
+	// entry, at the (at, seq) slot reserved for it at Send time — and
+	// when it fires the callback drains every ring entry due at the
+	// same instant inline before scheduling the next head. The heap
+	// stays O(links) instead of O(packets in flight) while firing
+	// order is byte-identical to one event per packet. See ring, and
+	// sim.Slot for the ordering argument.
 	departName, arriveName string
 	onDepart, onArrive     func()
-	departQ                ring[units.ByteCount]
+	departQ                ring[departRec]
 	arriveQ                ring[arrivalRec]
+}
+
+// departRec is one queued packet's serialization accounting: popped by
+// the link's depart callback when the rate limiter finishes with it.
+type departRec struct {
+	ws   units.ByteCount
+	slot sim.Slot
 }
 
 // arrivalRec is one in-flight packet: popped by the link's arrive
@@ -110,6 +124,7 @@ type arrivalRec struct {
 	s       *seg.Segment
 	ws      units.ByteCount
 	gen     uint32
+	slot    sim.Slot
 	deliver func(*seg.Segment)
 }
 
@@ -142,31 +157,56 @@ func NewLink(s *sim.Simulator, rng *sim.RNG, name string) *Link {
 		arriveName: "link.arrive:" + name,
 	}
 	l.onDepart = func() {
-		l.queuedBytes -= l.departQ.pop()
+		for {
+			l.queuedBytes -= l.departQ.pop().ws
+			if l.departQ.len() == 0 {
+				return
+			}
+			h := l.departQ.at(0)
+			if !l.sim.ConsumeSlot(h.slot) {
+				l.sim.ScheduleSlot(h.slot, l.departName, l.onDepart)
+				return
+			}
+		}
 	}
 	l.onArrive = func() {
-		a := l.arriveQ.pop()
-		if a.s == nil {
-			// Tombstone: SetDown killed this packet mid-flight; it was
-			// counted and released at that moment.
-			return
+		for {
+			l.arrive(l.arriveQ.pop())
+			if l.arriveQ.len() == 0 {
+				return
+			}
+			h := l.arriveQ.at(0)
+			if !l.sim.ConsumeSlot(h.slot) {
+				l.sim.ScheduleSlot(h.slot, l.arriveName, l.onArrive)
+				return
+			}
 		}
-		if a.s.Pooled() || a.s.Gen() != a.gen {
-			l.badOwnership(a.s)
-			return
-		}
-		// An outage that began after this packet was sent still kills
-		// it: frames in the air die with the radio.
-		if l.down {
-			l.Stats.MediumDrop++
-			l.pool.Put(a.s)
-			return
-		}
-		l.Stats.Sent++
-		l.Stats.Bytes += int64(a.ws)
-		a.deliver(a.s)
 	}
 	return l
+}
+
+// arrive completes one popped in-flight packet: tombstone and
+// ownership checks, outage kill, then delivery to the far end.
+func (l *Link) arrive(a arrivalRec) {
+	if a.s == nil {
+		// Tombstone: SetDown killed this packet mid-flight; it was
+		// counted and released at that moment.
+		return
+	}
+	if a.s.Pooled() || a.s.Gen() != a.gen {
+		l.badOwnership(a.s)
+		return
+	}
+	// An outage that began after this packet was sent still kills
+	// it: frames in the air die with the radio.
+	if l.down {
+		l.Stats.MediumDrop++
+		l.pool.Put(a.s)
+		return
+	}
+	l.Stats.Sent++
+	l.Stats.Bytes += int64(a.ws)
+	a.deliver(a.s)
 }
 
 // QueuedBytes reports the current queue occupancy.
@@ -268,8 +308,15 @@ func (l *Link) Send(s *seg.Segment, deliver func(*seg.Segment)) {
 	}
 	l.lastArrival = arrival
 
-	l.departQ.push(ws)
-	l.sim.At(departure, l.departName, l.onDepart)
+	// Slot reservations replace eager heap events: only a ring's head
+	// entry is heap-resident, and the depart/arrive callbacks schedule
+	// (or inline-drain) successors as heads retire. The reservation
+	// draws the same tie-break sequence an eager event would have, so
+	// the simulation's execution order is unchanged.
+	l.departQ.push(departRec{ws: ws, slot: l.sim.ReserveSlot(departure)})
+	if l.departQ.len() == 1 {
+		l.sim.ScheduleSlot(l.departQ.at(0).slot, l.departName, l.onDepart)
+	}
 	if !survives {
 		l.Stats.MediumDrop++
 		l.pool.Put(s)
@@ -278,8 +325,10 @@ func (l *Link) Send(s *seg.Segment, deliver func(*seg.Segment)) {
 	if l.Chaos != nil && l.chaosSend(s, ws, arrival, deliver) {
 		return
 	}
-	l.arriveQ.push(arrivalRec{s: s, ws: ws, gen: s.Gen(), deliver: deliver})
-	l.sim.At(arrival, l.arriveName, l.onArrive)
+	l.arriveQ.push(arrivalRec{s: s, ws: ws, gen: s.Gen(), slot: l.sim.ReserveSlot(arrival), deliver: deliver})
+	if l.arriveQ.len() == 1 {
+		l.sim.ScheduleSlot(l.arriveQ.at(0).slot, l.arriveName, l.onArrive)
+	}
 }
 
 // chaosSend applies the link's Chaos config to a surviving packet.

@@ -179,6 +179,19 @@ func NewNetwork(s *sim.Simulator) *Network {
 // Sim exposes the simulator driving this network.
 func (n *Network) Sim() *sim.Simulator { return n.sim }
 
+// Reset drops every host and route while keeping the segment pool's
+// free list warm, so a reused network rebuilds its topology without
+// reallocating per-packet state. Segments still in flight on the old
+// topology are abandoned to the garbage collector (they were never
+// released, so the pool's double-release guard is not at risk); the
+// pool's Gets/News counters keep accumulating across runs like the
+// simulator's pools do. Callers pair this with Simulator.Reset.
+func (n *Network) Reset() {
+	n.hosts = n.hosts[:0]
+	clear(n.routes)
+	n.NoRoute = 0
+}
+
 // NewSegment returns an empty segment from the network's pool. The
 // segment is surrendered when sent (the route chain releases it after
 // final delivery or at a drop); senders must not touch it afterwards.

@@ -14,9 +14,12 @@ type RNG struct {
 	r *rand.Rand
 }
 
-// NewRNG returns a stream seeded with seed.
+// NewRNG returns a stream seeded with seed. The underlying source is
+// the fast-seeding lagged-Fibonacci implementation from fastrand.go,
+// bit-identical to math/rand's — world construction derives several
+// streams per run, and seeding dominated its profile.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	return &RNG{r: rand.New(newSource(seed))}
 }
 
 // Child derives an independent stream from this one, labeled for

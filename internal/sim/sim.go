@@ -127,6 +127,14 @@ type Simulator struct {
 	watchEvery uint64
 	watchLeft  uint64
 	abortErr   error
+
+	// Timer wheel (see wheel.go): pending Timer expiries park here in
+	// O(1) and only migrate to the heap just before their deadline.
+	wheel        wheel
+	freeTimers   []*timerRec
+	wheelArms    uint64
+	wheelCancels uint64
+	wheelFlushes uint64
 }
 
 // New returns a fresh Simulator with its clock at zero.
@@ -240,18 +248,32 @@ func (s *Simulator) watchdogTripped() bool {
 	return false
 }
 
-// peek discards dead records from the head of the queue and returns
-// the next live event, or nil if none remain.
+// peek discards dead records from the head of the queue, flushes any
+// wheel slots the head event could collide with, and returns the next
+// live event, or nil if none remain anywhere.
 func (s *Simulator) peek() *eventRec {
-	for len(s.queue) > 0 {
-		e := s.queue[0]
-		if !e.dead {
+	for {
+		var e *eventRec
+		for len(s.queue) > 0 {
+			h := s.queue[0]
+			if !h.dead {
+				e = h
+				break
+			}
+			s.pop()
+			s.recycle(h)
+		}
+		// Wheel records all have deadlines at or above flushPos, so a
+		// heap head strictly below it is globally next.
+		if s.wheel.count == 0 || (e != nil && e.at < s.wheel.flushPos) {
 			return e
 		}
-		s.pop()
-		s.recycle(e)
+		limit := MaxTime
+		if e != nil {
+			limit = e.at
+		}
+		s.flushWheel(limit)
 	}
-	return nil
 }
 
 // Step executes the single next event, if any, and reports whether one
@@ -387,12 +409,19 @@ func (s *Simulator) pop() {
 // A Timer binds its expiry callback once, at construction: re-arming
 // via Reset schedules the same bound function instead of allocating a
 // fresh closure per re-arm (RTO timers re-arm on every ACK).
+//
+// A pending Timer lives either in the timing wheel (w non-nil; the
+// common case — O(1) arm and cancel) or, when its deadline is imminent
+// or beyond the wheel horizon, as an ordinary heap event (ev). Wheel
+// residents migrate to the heap shortly before expiry; either way the
+// firing order is identical to a pure-heap schedule (see wheel.go).
 type Timer struct {
 	sim  *Simulator
 	name string
 	fn   func()
 	fire func() // bound once; clears ev then invokes fn
 	ev   Event
+	w    *timerRec
 }
 
 // NewTimer returns a stopped timer that will invoke fn when it fires.
@@ -408,29 +437,42 @@ func NewTimer(s *Simulator, name string, fn func()) *Timer {
 // Reset (re)arms the timer to fire d from now, replacing any pending
 // expiry.
 func (t *Timer) Reset(d Time) {
+	if d < 0 {
+		d = 0
+	}
 	t.Stop()
-	t.ev = t.sim.After(d, t.name, t.fire)
+	t.sim.armTimer(t, t.sim.now+d)
 }
 
 // ResetAt (re)arms the timer to fire at absolute time at.
 func (t *Timer) ResetAt(at Time) {
 	t.Stop()
-	t.ev = t.sim.At(at, t.name, t.fire)
+	t.sim.armTimer(t, at)
 }
 
 // Stop disarms the timer if it is pending.
 func (t *Timer) Stop() {
-	if t.ev.live() {
+	if t.w != nil {
+		t.sim.wheelRemove(t.w)
+		t.sim.live--
+		t.sim.wheelCancels++
+		t.w = nil
+	} else if t.ev.live() {
 		t.sim.Cancel(t.ev)
 	}
 	t.ev = Event{}
 }
 
 // Armed reports whether the timer currently has a pending expiry.
-func (t *Timer) Armed() bool { return t.ev.live() && !t.ev.Cancelled() }
+func (t *Timer) Armed() bool {
+	return t.w != nil || (t.ev.live() && !t.ev.Cancelled())
+}
 
 // Deadline reports when the timer will fire, or MaxTime if disarmed.
 func (t *Timer) Deadline() Time {
+	if t.w != nil {
+		return t.w.at
+	}
 	if !t.Armed() {
 		return MaxTime
 	}

@@ -1,10 +1,57 @@
 package tcp
 
 import (
-	"sort"
-
 	"mptcplab/internal/seg"
 )
+
+// insertRange merges the half-open block blk into the sorted, disjoint
+// range set rs in place and returns the updated slice. Adjacent ranges
+// (r.Start == last.End) coalesce, matching the classic sort-then-merge
+// formulation, but without sort.Slice: the per-ACK hot path calls this
+// for every SACK block and sort.Slice allocates a closure plus a
+// reflect-based swapper on every call, which dominated the allocation
+// profile of both download benchmarks.
+func insertRange(rs []seg.SACKBlock, blk seg.SACKBlock) []seg.SACKBlock {
+	// Find the first range whose Start is strictly above blk.Start.
+	i := 0
+	for i < len(rs) && seg.SeqLEQ(rs[i].Start, blk.Start) {
+		i++
+	}
+	// If blk touches its predecessor, extend that range instead of
+	// inserting, then absorb any successors the extension now covers.
+	if i > 0 && seg.SeqLEQ(blk.Start, rs[i-1].End) {
+		if seg.SeqGT(blk.End, rs[i-1].End) {
+			rs[i-1].End = blk.End
+			j := i
+			for j < len(rs) && seg.SeqLEQ(rs[j].Start, rs[i-1].End) {
+				if seg.SeqGT(rs[j].End, rs[i-1].End) {
+					rs[i-1].End = rs[j].End
+				}
+				j++
+			}
+			if j > i {
+				rs = append(rs[:i], rs[j:]...)
+			}
+		}
+		return rs
+	}
+	// blk opens a new range at position i; swallow successors it covers.
+	j := i
+	for j < len(rs) && seg.SeqLEQ(rs[j].Start, blk.End) {
+		if seg.SeqGT(rs[j].End, blk.End) {
+			blk.End = rs[j].End
+		}
+		j++
+	}
+	if j > i {
+		rs[i] = blk
+		return append(rs[:i+1], rs[j:]...)
+	}
+	rs = append(rs, seg.SACKBlock{})
+	copy(rs[i+1:], rs[i:])
+	rs[i] = blk
+	return rs
+}
 
 // sackScoreboard tracks which parts of the unacknowledged send space
 // the peer has selectively acknowledged, in the spirit of RFC 6675.
@@ -19,22 +66,7 @@ func (b *sackScoreboard) Add(blk seg.SACKBlock) {
 	if !seg.SeqLT(blk.Start, blk.End) {
 		return
 	}
-	b.ranges = append(b.ranges, blk)
-	sort.Slice(b.ranges, func(i, j int) bool {
-		return seg.SeqLT(b.ranges[i].Start, b.ranges[j].Start)
-	})
-	merged := b.ranges[:1]
-	for _, r := range b.ranges[1:] {
-		last := &merged[len(merged)-1]
-		if seg.SeqLEQ(r.Start, last.End) {
-			if seg.SeqGT(r.End, last.End) {
-				last.End = r.End
-			}
-		} else {
-			merged = append(merged, r)
-		}
-	}
-	b.ranges = merged
+	b.ranges = insertRange(b.ranges, blk)
 }
 
 // AdvanceUna drops ranges at or below the new cumulative ACK point.
@@ -111,22 +143,7 @@ func (r *rcvRanges) Add(start, end uint32) {
 		return
 	}
 	r.recent = seg.SACKBlock{Start: start, End: end}
-	r.ranges = append(r.ranges, r.recent)
-	sort.Slice(r.ranges, func(i, j int) bool {
-		return seg.SeqLT(r.ranges[i].Start, r.ranges[j].Start)
-	})
-	merged := r.ranges[:1]
-	for _, x := range r.ranges[1:] {
-		last := &merged[len(merged)-1]
-		if seg.SeqLEQ(x.Start, last.End) {
-			if seg.SeqGT(x.End, last.End) {
-				last.End = x.End
-			}
-		} else {
-			merged = append(merged, x)
-		}
-	}
-	r.ranges = merged
+	r.ranges = insertRange(r.ranges, r.recent)
 }
 
 // NextContiguous reports how far rcvNxt can advance given the stored
