@@ -42,7 +42,7 @@ bench-diff:
 # full invariant checker armed. Any violation prints a one-line replay
 # token (mptcpfuzz -replay seed:mask[:sched]).
 FUZZTIME ?= 20s
-FUZZ_SCHEDS := minrtt roundrobin weighted redundant
+FUZZ_SCHEDS := minrtt roundrobin weighted redundant blest adaptive
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSegDecode$$' -fuzztime $(FUZZTIME) ./internal/seg/
 	$(GO) test -run '^$$' -fuzz '^FuzzReorderInsert$$' -fuzztime $(FUZZTIME) ./internal/mptcp/
@@ -54,13 +54,16 @@ fuzz-smoke:
 # sched-smoke is the scheduler-matrix gate: the golden export fixture
 # pins minrtt's placement byte-for-byte (any scheduler-layer change
 # that perturbs the default policy fails here), and the conformance
-# suite runs every registered scheduler through the standard scenario
+# suite runs every registered scheduler through the five-scenario
 # battery — zero invariant violations, byte-stream oracle intact,
 # policy properties (RTT preference, rotation, weighted split,
-# zero-stall blackout redundancy) asserted — under the race detector.
+# zero-stall blackout redundancy, blest HoL gate, adaptive fade
+# survival) asserted — under the race detector. The suite runs in
+# seconds; the tight timeout catches a gating policy wedging the
+# virtual clock.
 sched-smoke:
 	$(GO) test -count=1 -run '^TestGoldenSmallFlowsExports$$' ./internal/experiment/
-	$(GO) test -race -count=1 -timeout 10m \
+	$(GO) test -race -count=1 -timeout 5m \
 		-run '^TestSchedulerConformance$$|^TestConformanceReplayTokens$$' ./internal/check/
 
 # loadsmoke proves the fleet engine's determinism contract end to end:

@@ -37,7 +37,7 @@ func main() {
 		size      = flag.String("size", "8MB", "download size")
 		wifiProf  = flag.String("wifi", "comcast", "WiFi profile: comcast | coffeeshop")
 		carrier   = flag.String("carrier", "att", "cellular profile: att | verizon | sprint")
-		scheduler = flag.String("scheduler", "", "MPTCP scheduler plugin: minrtt (default) | roundrobin | weighted[:w0;w1;...] | redundant | backup")
+		scheduler = flag.String("scheduler", "", "MPTCP scheduler plugin: minrtt (default) | roundrobin | weighted[:w0;w1;...] | redundant | blest | adaptive | backup")
 		seed      = flag.Int64("seed", 61, "run seed (same seed + schedule => byte-identical behavior)")
 		deadline  = flag.Duration("deadline", 30*time.Second, "wall-clock budget per run; over-budget runs are killed, not hung (0 = none)")
 		selfCheck = flag.Bool("selfcheck", true, "arm the protocol invariant checker")

@@ -21,7 +21,7 @@ func main() {
 	var (
 		n      = flag.Int("n", 100, "number of scenarios to run")
 		seed   = flag.Int64("seed", 1, "base seed; case i runs GenScenario(seed+i)")
-		sched  = flag.String("sched", "", "run every generated scenario under this scheduler plugin: minrtt (default) | roundrobin | weighted[:w0;w1;...] | redundant | backup")
+		sched  = flag.String("sched", "", "run every generated scenario under this scheduler plugin: minrtt (default) | roundrobin | weighted[:w0;w1;...] | redundant | blest | adaptive | backup")
 		replay = flag.String("replay", "", "replay one scenario from a seed:mask[:sched] token")
 		v      = flag.Bool("v", false, "log every scenario, not just failures")
 	)

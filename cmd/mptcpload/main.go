@@ -43,7 +43,7 @@ func main() {
 		mix       = flag.String("mix", "small", "flow size distribution: small | web | heavy | <size>")
 		transport = flag.String("transport", "mptcp", "per-flow stack: mptcp | wifi | cell | wifi=0.3,cell=0.2,mptcp=0.5")
 		cc        = flag.String("cc", "", "MPTCP coupling: coupled (default) | olia | reno")
-		scheduler = flag.String("scheduler", "", "MPTCP scheduler plugin: minrtt (default) | roundrobin | weighted[:w0;w1;...] | redundant | backup")
+		scheduler = flag.String("scheduler", "", "MPTCP scheduler plugin: minrtt (default) | roundrobin | weighted[:w0;w1;...] | redundant | blest | adaptive | backup")
 		wifiProf  = flag.String("wifi", "coffeeshop", "WiFi profile: coffeeshop | wifi")
 		carrier   = flag.String("carrier", "att", "cellular profile: att | verizon | sprint")
 		sample    = flag.Bool("sample", false, "sample per-run link-parameter variation from the seed")

@@ -24,7 +24,7 @@ func main() {
 		carrier    = flag.String("carrier", "att", "att | verizon | sprint")
 		wifi       = flag.String("wifi", "wifi", "wifi | coffeeshop")
 		controller = flag.String("cc", "coupled", "reno | coupled | olia")
-		scheduler  = flag.String("scheduler", "minrtt", "scheduler plugin: minrtt | roundrobin | weighted[:w0;w1;...] | redundant | backup")
+		scheduler  = flag.String("scheduler", "minrtt", "scheduler plugin: minrtt | roundrobin | weighted[:w0;w1;...] | redundant | blest | adaptive | backup")
 		sizeKB     = flag.Int("size-kb", 4096, "download size in KB")
 		seed       = flag.Int64("seed", 1, "simulation seed")
 		simSYN     = flag.Bool("simultaneous-syn", false, "send all subflow SYNs together (§4.1.2)")

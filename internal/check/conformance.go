@@ -60,11 +60,25 @@ func ConformanceBattery() []ConformanceScenario {
 	storm := base(104, 1<<20)
 	storm.Faults = []Fault{{Kind: FaultHandoverStorm, At: 500 * sim.Millisecond, Dur: 1 * sim.Second}}
 	storm.Mask = 1
+	// The fade scenario is the mmWave-blockage shape: the fast path
+	// sinks through a deep raised-cosine fade mid-transfer — never
+	// administratively down, just starved and lossy — while the slower
+	// path stays healthy. A scheduler that keeps trusting the fast
+	// path's pre-fade reputation (static weighted's cumulative deficit
+	// gate) crawls in lockstep with the faded link for the whole fade;
+	// HoL-aware and delivery-rate-adaptive policies must shift to the
+	// healthy path and finish within 2x of minrtt.
+	fade := base(105, 8<<20)
+	fade.WiFi = PathParams{Rate: 20 * units.Mbps, Delay: 10 * sim.Millisecond, Queue: 256 * units.KB}
+	fade.Cell = PathParams{Rate: 8 * units.Mbps, Delay: 40 * sim.Millisecond, Queue: 512 * units.KB}
+	fade.Faults = []Fault{{Kind: FaultWiFiFade, At: 1 * sim.Second, Dur: 20 * sim.Second, Par: 1.0}}
+	fade.Mask = 1
 	return []ConformanceScenario{
 		{Name: "steady-state", Base: steady},
 		{Name: "asymmetric-rtt", Base: asym},
 		{Name: "blackout", Base: blackout},
 		{Name: "handover-storm", Base: storm},
+		{Name: "fade", Base: fade},
 	}
 }
 

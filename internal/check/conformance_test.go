@@ -21,8 +21,8 @@ func TestSchedulerConformance(t *testing.T) {
 		for _, cs := range battery {
 			res := RunConformance(sched, cs)
 			results[sched][cs.Name] = res
-			t.Logf("%s/%s: wifi=%d cell=%d dupTx=%d dupRx=%d stall=%v places=%v switches=%d",
-				sched, cs.Name, res.WiFiTxBytes, res.CellTxBytes,
+			t.Logf("%s/%s: fct=%v wifi=%d cell=%d dupTx=%d dupRx=%d stall=%v places=%v switches=%d",
+				sched, cs.Name, res.Report.CompletedAt, res.WiFiTxBytes, res.CellTxBytes,
 				res.DupTxBytes, res.DupRxBytes, res.LongestStall,
 				res.PlaceCounts, res.PlaceSwitches)
 
@@ -125,6 +125,78 @@ func TestSchedulerConformance(t *testing.T) {
 		}
 	}
 
+	// blest degenerates to minrtt in bulk transfer — the HoL gate only
+	// ever *withholds* a slow-path placement minrtt would have made —
+	// so on the fault-free scenarios it must place no more chunks on
+	// the slow (cellular) path than minrtt does, at no meaningful cost
+	// in completion time.
+	for _, scen := range []string{"steady-state", "asymmetric-rtt"} {
+		bl, mr := results["blest"][scen], results["minrtt"][scen]
+		if len(bl.PlaceCounts) < 2 || len(mr.PlaceCounts) < 2 {
+			t.Fatalf("blest/%s: missing placement telemetry", scen)
+		}
+		if bl.PlaceCounts[1] > mr.PlaceCounts[1] {
+			t.Errorf("blest/%s: %d cell placements exceed minrtt's %d — the gate should only withhold slow-path picks",
+				scen, bl.PlaceCounts[1], mr.PlaceCounts[1])
+		}
+		if bl.Report.CompletedAt > mr.Report.CompletedAt*3/2 {
+			t.Errorf("blest/%s completed at %v, above 1.5x minrtt's %v",
+				scen, bl.Report.CompletedAt, mr.Report.CompletedAt)
+		}
+	}
+
+	// adaptive's live weights must track delivered capacity: on the
+	// steady scenario (20 Mbps WiFi vs 8 Mbps cellular) the WiFi path
+	// carries the clear majority, the probe rule still exercises the
+	// second path, and the re-estimated split costs little next to
+	// minrtt.
+	{
+		ad, mr := results["adaptive"]["steady-state"], results["minrtt"]["steady-state"]
+		if ad.WiFiTxBytes <= ad.CellTxBytes {
+			t.Errorf("adaptive/steady-state: wifi %d vs cell %d — weights not tracking delivered capacity",
+				ad.WiFiTxBytes, ad.CellTxBytes)
+		}
+		if len(ad.PlaceCounts) < 2 || ad.PlaceCounts[1] == 0 {
+			t.Errorf("adaptive/steady-state: placements %v never probed the second path", ad.PlaceCounts)
+		}
+		if ad.Report.CompletedAt > mr.Report.CompletedAt*3/2 {
+			t.Errorf("adaptive/steady-state completed at %v, above 1.5x minrtt's %v",
+				ad.Report.CompletedAt, mr.Report.CompletedAt)
+		}
+	}
+
+	// The fade scenario pins the tentpole property: through a deep
+	// mmWave-style blockage fade on the fast path, the HoL-aware (blest)
+	// and delivery-rate-adaptive schedulers must finish within 2x of
+	// minrtt and strictly beat static weighted, whose cumulative-deficit
+	// gate keeps waiting for the faded path and crawls in lockstep with
+	// it. The weighted guard below keeps the comparison honest: if a
+	// future change teaches weighted to dodge the fade, these
+	// assertions stop proving anything and must be revisited.
+	{
+		min := results["minrtt"]["fade"].Report.CompletedAt
+		wgt := results["weighted"]["fade"].Report.CompletedAt
+		if min <= 0 || wgt <= 0 {
+			t.Fatalf("fade: missing completion times (minrtt=%v weighted=%v)", min, wgt)
+		}
+		if wgt < 2*min {
+			t.Errorf("weighted/fade completed at %v, less than 2x minrtt's %v — the fade no longer hurts static weights and the comparison below is vacuous",
+				wgt, min)
+		}
+		for _, sched := range []string{"blest", "adaptive"} {
+			fct := results[sched]["fade"].Report.CompletedAt
+			if fct <= 0 {
+				t.Fatalf("%s/fade: missing completion time", sched)
+			}
+			if fct > 2*min {
+				t.Errorf("%s/fade completed at %v, above 2x minrtt's %v", sched, fct, min)
+			}
+			if fct >= wgt {
+				t.Errorf("%s/fade completed at %v, not strictly better than weighted's %v", sched, fct, wgt)
+			}
+		}
+	}
+
 	// The headline resilience property: through the 3 s single-path
 	// blackout the redundant scheduler's surviving copies keep the
 	// receiver's in-order edge moving — zero measured stall — while
@@ -147,7 +219,7 @@ func TestSchedulerConformance(t *testing.T) {
 // a replay token that reconstructs the same scheduler, and malformed
 // scheduler fields are rejected with a one-line error.
 func TestConformanceReplayTokens(t *testing.T) {
-	for _, sched := range []string{"minrtt", "roundrobin", "weighted:3;1", "redundant"} {
+	for _, sched := range []string{"minrtt", "roundrobin", "weighted:3;1", "redundant", "blest", "adaptive"} {
 		sc := GenScenario(7)
 		sc.Scheduler = sched
 		tok := sc.Replay()

@@ -7,6 +7,7 @@ import (
 
 	"mptcplab/internal/mptcp"
 	"mptcplab/internal/netem"
+	"mptcplab/internal/pathmodel"
 	"mptcplab/internal/seg"
 	"mptcplab/internal/sim"
 	"mptcplab/internal/trace"
@@ -26,6 +27,20 @@ const (
 	FaultRemoveAddr    // client tears an interface down via REMOVE_ADDR
 	FaultHandoverStorm // rapid WiFi down/up toggles
 	faultKinds
+
+	// Kinds past the faultKinds sentinel are battery-only: GenScenario's
+	// seeded draw is rng.Intn(int(faultKinds)), so adding them here
+	// leaves every historical seed-derived scenario — and with it every
+	// replay token — byte-identical. They can only appear in scripts
+	// built by hand (the conformance battery).
+
+	// FaultWiFiFade sweeps a raised-cosine signal fade across the WiFi
+	// path: link rate scales down and loss scales up following
+	// pathmodel.SignalFade, bottoming out at depth Par mid-fade. Unlike
+	// an outage the path never goes administratively down — it keeps
+	// accepting (and mostly dropping) bytes, which is exactly the trap
+	// that punishes schedulers trusting stale path weights.
+	FaultWiFiFade
 )
 
 // String names the fault for replay logs.
@@ -43,6 +58,8 @@ func (k FaultKind) String() string {
 		return "remove-addr"
 	case FaultHandoverStorm:
 		return "handover-storm"
+	case FaultWiFiFade:
+		return "wifi-fade"
 	}
 	return fmt.Sprintf("fault(%d)", int(k))
 }
@@ -207,11 +224,12 @@ type Harness struct {
 
 // Report is the outcome of one fuzzed scenario.
 type Report struct {
-	Scenario   Scenario
-	Completed  bool
-	Delivered  int64
-	Violations []Violation
-	Count      int
+	Scenario    Scenario
+	Completed   bool
+	CompletedAt sim.Time // virtual completion time; valid only when Completed
+	Delivered   int64
+	Violations  []Violation
+	Count       int
 }
 
 // Ok reports a violation-free run.
@@ -313,8 +331,10 @@ func RunScenario(sc Scenario, bug func(*Harness)) Report {
 
 	getter := web.NewGetter(web.MPTCPStream{Conn: conn})
 	completed := false
+	var completedAt sim.Time
 	getter.Get(sc.Size, func() {
 		completed = true
+		completedAt = s.Now()
 		getter.Close()
 	})
 
@@ -332,11 +352,12 @@ func RunScenario(sc Scenario, bug func(*Harness)) Report {
 	ck.RunProbes()
 
 	return Report{
-		Scenario:   sc,
-		Completed:  completed,
-		Delivered:  conn.Reorder().Delivered,
-		Violations: ck.Violations(),
-		Count:      ck.Count(),
+		Scenario:    sc,
+		Completed:   completed,
+		CompletedAt: completedAt,
+		Delivered:   conn.Reorder().Delivered,
+		Violations:  ck.Violations(),
+		Count:       ck.Count(),
 	}
 }
 
@@ -399,6 +420,40 @@ func (h *Harness) scheduleFaults(sc Scenario) {
 			}
 			// Always come back up after the storm.
 			h.Sim.At(f.At+sim.Time(toggles)*100*sim.Millisecond, "fault.handover-end", func() { setWiFi(false) })
+		case FaultWiFiFade:
+			// Sweep the raised-cosine fade in fixed steps. The link never
+			// goes down — rate bottoms out at (1-Par) of nominal with a
+			// small floor so serialization stays defined, and loss peaks
+			// mid-fade per the SignalFade curve.
+			const fadeSteps = 40
+			step := f.Dur / fadeSteps
+			if step <= 0 {
+				step = sim.Millisecond
+			}
+			for i := 0; i <= fadeSteps; i++ {
+				frac := float64(i) / fadeSteps
+				scale, fadeLoss := pathmodel.SignalFade(frac, f.Par)
+				rate := units.BitRate(float64(sc.WiFi.Rate) * scale)
+				if rate < 50*units.Kbps {
+					rate = 50 * units.Kbps
+				}
+				p := sc.WiFi.Loss + fadeLoss
+				if p > 0.95 {
+					p = 0.95
+				}
+				h.Sim.At(f.At+sim.Time(i)*step, "fault.wifi-fade", func() {
+					h.WiFiUp.Rate = rate
+					h.WiFiDown.Rate = rate
+					h.WiFiUp.Loss = netem.BernoulliLoss{P: p}
+					h.WiFiDown.Loss = netem.BernoulliLoss{P: p}
+				})
+			}
+			h.Sim.At(f.At+f.Dur+step, "fault.wifi-fade-end", func() {
+				h.WiFiUp.Rate = sc.WiFi.Rate
+				h.WiFiDown.Rate = sc.WiFi.Rate
+				h.WiFiUp.Loss = netem.BernoulliLoss{P: sc.WiFi.Loss}
+				h.WiFiDown.Loss = netem.BernoulliLoss{P: sc.WiFi.Loss}
+			})
 		}
 	}
 }

@@ -112,6 +112,12 @@ type RunResult struct {
 	// delivered packet (§3.3), MPTCP only.
 	OFOms []float64
 
+	// Per-path delivered (cumulatively ACKed) bytes from the MPTCP
+	// subflow delivery-rate telemetry, MPTCP only. Execution-side
+	// diagnostics for the scheduler lab; excluded from campaign
+	// CSV/JSON exports, whose schema is pinned by golden fixtures.
+	WiFiBytesAcked, CellBytesAcked int64
+
 	// Subflows observed at the server (1 for SP, 2 or 4 for MPTCP).
 	Subflows int
 	// Penalties counts receive-buffer penalization events (ablation).
@@ -394,6 +400,11 @@ func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time, ck *check.Checker) RunR
 		res.Penalties = serverConn.Penalties
 		for _, sf := range serverConn.Subflows() {
 			tb.accountSender(sf.EP, &res)
+			if tb.IsCellIP(sf.EP.Remote) {
+				res.CellBytesAcked += sf.AckedBytes()
+			} else {
+				res.WiFiBytesAcked += sf.AckedBytes()
+			}
 		}
 	}
 	return res

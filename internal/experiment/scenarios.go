@@ -172,7 +172,7 @@ func SchedulerShootout(opts CampaignOpts) *Matrix {
 	}
 	var rows []RowSpec
 	for _, pr := range pairings {
-		for _, sched := range []string{"minrtt", "roundrobin", "weighted", "redundant"} {
+		for _, sched := range []string{"minrtt", "roundrobin", "weighted", "redundant", "blest", "adaptive"} {
 			for _, ctrl := range []string{"coupled", "olia"} {
 				rows = append(rows, RowSpec{
 					Label: pr.tag + " " + sched + " (" + ctrl + ")",

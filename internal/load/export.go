@@ -54,6 +54,11 @@ type RunExport struct {
 	WiFiRetransPct float64 `json:"wifi_retrans_pct"`
 	CellRetransPct float64 `json:"cell_retrans_pct"`
 
+	// Per-path delivered (cumulatively ACKed) bytes, from the MPTCP
+	// subflow delivery-rate telemetry; zero for plain-TCP transports.
+	WiFiAckedBytes int64 `json:"wifi_acked_bytes,omitempty"`
+	CellAckedBytes int64 `json:"cell_acked_bytes,omitempty"`
+
 	Violations int `json:"violations"`
 
 	// Harness outcome: failed runs (contained panic, watchdog kill)
@@ -70,17 +75,19 @@ func exportRun(p SweepPoint, rep int, res *Result, token string) RunExport {
 		Seed: res.Seed, Replay: token,
 		Offered: res.Offered, Completed: res.Completed, Incomplete: res.Incomplete,
 		DupTxBytes: res.DupTxBytes, DupRxBytes: res.DupRxBytes,
-		FCTMean:     res.FCT.Mean(),
-		FCTP50:      res.FCT.Quantile(0.50),
-		FCTP90:      res.FCT.Quantile(0.90),
-		FCTP99:      res.FCT.Quantile(0.99),
-		FCTMax:      res.FCT.Max(),
-		GoodputMean: res.Goodput.Mean(),
-		Jain:        res.Goodput.Jain(),
-		CellShare:   res.CellShare(),
-		Violations:  res.Violations,
-		Failed:      res.Failed,
-		FailReason:  res.FailReason,
+		FCTMean:        res.FCT.Mean(),
+		FCTP50:         res.FCT.Quantile(0.50),
+		FCTP90:         res.FCT.Quantile(0.90),
+		FCTP99:         res.FCT.Quantile(0.99),
+		FCTMax:         res.FCT.Max(),
+		GoodputMean:    res.Goodput.Mean(),
+		Jain:           res.Goodput.Jain(),
+		CellShare:      res.CellShare(),
+		WiFiAckedBytes: res.WiFiAckedBytes,
+		CellAckedBytes: res.CellAckedBytes,
+		Violations:     res.Violations,
+		Failed:         res.Failed,
+		FailReason:     res.FailReason,
 	}
 	if res.FCTSmall.N() > 0 {
 		e.SmallP50 = res.FCTSmall.Quantile(0.5)
@@ -149,7 +156,8 @@ var csvHeader = []string{
 	"goodput_bps_mean", "jain", "cell_share",
 	"dup_tx_bytes", "dup_rx_bytes",
 	"ap_down_util", "cell_down_util", "ap_down_qdrop", "cell_down_qdrop",
-	"wifi_retrans_pct", "cell_retrans_pct", "violations",
+	"wifi_retrans_pct", "cell_retrans_pct",
+	"wifi_acked_bytes", "cell_acked_bytes", "violations",
 	"failed", "fail_reason", "replay",
 }
 
@@ -172,6 +180,7 @@ func (sw *Sweep) WriteCSV(w io.Writer, base Config) error {
 			f(e.APDownUtil), f(e.CellDownUtil),
 			strconv.FormatUint(e.APDownQDrop, 10), strconv.FormatUint(e.CellDownDrop, 10),
 			f(e.WiFiRetransPct), f(e.CellRetransPct),
+			strconv.FormatInt(e.WiFiAckedBytes, 10), strconv.FormatInt(e.CellAckedBytes, 10),
 			strconv.Itoa(e.Violations),
 			strconv.FormatBool(e.Failed), e.FailReason, e.Replay,
 		}

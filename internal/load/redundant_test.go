@@ -95,7 +95,7 @@ func TestReplayReproducesSweepRowPerScheduler(t *testing.T) {
 		Drain:     20 * sim.Second,
 		SelfCheck: true,
 	}
-	scheds := []string{"minrtt", "roundrobin", "weighted", "redundant"}
+	scheds := []string{"minrtt", "roundrobin", "weighted", "redundant", "blest", "adaptive"}
 	sw := RunSweep(SweepOpts{Base: base, Rates: []float64{2}, Scheds: scheds, Reps: 1, Seed: 23})
 	rows := sw.Export(base)
 	if len(rows) != len(scheds) {

@@ -93,6 +93,14 @@ type Result struct {
 	WiFiRetransPkts uint64
 	CellRetransPkts uint64
 
+	// Per-path delivered (cumulatively ACKed) bytes from the MPTCP
+	// subflow delivery-rate telemetry — the numerator the adaptive
+	// scheduler weights by. Unlike BytesSent this excludes
+	// retransmissions and in-flight losses, so the pair (sent, acked)
+	// exposes each path's waste directly in the export.
+	WiFiAckedBytes int64
+	CellAckedBytes int64
+
 	// Per-link utilization over the full run (access + LAN).
 	Links []LinkUtil
 
@@ -187,6 +195,11 @@ func (r *Result) absorbTx(t *Topology, fl *flow) {
 		for _, sf := range c.Subflows() {
 			add(t.IsCellIP(sf.EP.Remote), sf.EP.Stats.BytesSent, sf.EP.Stats.BytesRetrans,
 				sf.EP.Stats.DataPktsSent, sf.EP.Stats.DataPktsRetrans)
+			if t.IsCellIP(sf.EP.Remote) {
+				r.CellAckedBytes += sf.AckedBytes()
+			} else {
+				r.WiFiAckedBytes += sf.AckedBytes()
+			}
 		}
 		r.DupTxBytes += c.DupTxBytes
 	}

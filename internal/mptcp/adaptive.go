@@ -1,0 +1,114 @@
+package mptcp
+
+// Adaptive is the weighted scheduler with the static weight table
+// replaced by a live estimate: each path's weight is its windowed
+// delivery rate (bytes cumulatively ACKed over the last
+// DefaultRateWindow, see RateEstimator). The shootout's motivating
+// negative result is static `weighted` forcing its configured share
+// onto a 5G mmWave path through a blockage fade — a weight is a bet
+// about the future, and a fading radio voids it within a second.
+// Re-estimating the weights from delivered bytes makes the split
+// track what each path is actually moving:
+//
+//	w_i(t) = dlv_i(t)            (windowed delivery rate, B/s)
+//	score_i(t) = placed_i(t) / w_i(t)
+//	pick = argmin score_i        (deficit: furthest below its share)
+//
+// where placed_i is the same windowed estimator fed with scheduled
+// bytes — both sides of the ratio forget at the same horizon, so a
+// weight shift moves the split within one window instead of waiting
+// out a cumulative deficit built over the whole transfer.
+//
+// Gating (see the degeneracy trap, DESIGN.md section 12): when the
+// argmin path cannot accept data right now the scheduler normally
+// waits for it, which is what keeps the byte split on the weight
+// ratio under a saturating sender. But it only waits for a path that
+// is *actively delivering*: a path whose delivery window has drained
+// to zero — fading, blacked out, or freshly dead — forfeits its turn
+// and the pick falls to the best scoring usable path. That single
+// rule is why adaptive survives the fade profile that static
+// weighted blows up on.
+type Adaptive struct {
+	singleCopy
+	scores []float64 // scratch, reused across Picks
+}
+
+// adaptiveProbeWeight is the optimistic weight for a path with no
+// delivery sample in the window AND no recent placements: it gets the
+// best observed rate so the deficit routes data its way and the
+// estimator can learn. (A path with recent placements but zero
+// deliveries is NOT probed — that is a black hole mid-fade.)
+func adaptiveProbeWeight(maxRate float64) float64 {
+	if maxRate > 0 {
+		return maxRate
+	}
+	return 1
+}
+
+// Name implements Scheduler.
+func (*Adaptive) Name() string { return "adaptive" }
+
+// Pick implements Scheduler.
+func (a *Adaptive) Pick(subflows []*Subflow) int {
+	if len(subflows) == 0 {
+		return -1
+	}
+	now := subflows[0].conn.sim.Now()
+	if cap(a.scores) < len(subflows) {
+		a.scores = make([]float64, len(subflows))
+	}
+	a.scores = a.scores[:len(subflows)]
+
+	var maxRate float64
+	for _, sf := range subflows {
+		if r := sf.dlv.Rate(now); r > maxRate {
+			maxRate = r
+		}
+	}
+	best := -1
+	for i, sf := range subflows {
+		a.scores[i] = -1
+		if !sf.EP.Established() || sf.EP.ConsecutiveTimeouts() >= DeadAfterTimeouts {
+			continue
+		}
+		w := sf.dlv.Rate(now)
+		placed := sf.placed.Rate(now)
+		if w <= 0 {
+			if placed > 0 {
+				// Recently scheduled, nothing delivered: a stall or a
+				// fade. Minimal weight pushes its score sky-high so the
+				// deficit stops feeding it until ACKs return.
+				w = 1
+			} else {
+				w = adaptiveProbeWeight(maxRate)
+			}
+		}
+		a.scores[i] = placed / w
+		if best < 0 || a.scores[i] < a.scores[best] {
+			best = i
+		}
+	}
+	if best < 0 {
+		return -1
+	}
+	if subflows[best].usable() {
+		return best
+	}
+	if subflows[best].dlv.Total(now) > 0 {
+		// The most-behind path is alive (its ACK clock delivered bytes
+		// within the window) but momentarily full: wait for it, or the
+		// split degenerates to cwnd-proportional placement.
+		return -1
+	}
+	// Silent path: forfeit its turn, take the best usable score.
+	next := -1
+	for i, sf := range subflows {
+		if a.scores[i] < 0 || !sf.usable() {
+			continue
+		}
+		if next < 0 || a.scores[i] < a.scores[next] {
+			next = i
+		}
+	}
+	return next
+}

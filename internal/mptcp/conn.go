@@ -22,8 +22,10 @@ type Config struct {
 	TCP        tcp.Config
 	Controller cc.Controller // shared across subflows (coupled/olia/reno)
 	// Scheduler names the packet-scheduling plugin: "minrtt" (default),
-	// "roundrobin", "weighted[:w0;w1;...]", "redundant", or "backup"
-	// (legacy aliases "lowest-rtt"/"round-robin" still resolve).
+	// "roundrobin", "weighted[:w0;w1;...]", "redundant", "backup",
+	// "blest" (HoL-blocking-aware), or "adaptive" (delivery-rate
+	// weighted); legacy aliases "lowest-rtt"/"round-robin" still
+	// resolve.
 	Scheduler string
 
 	// SimultaneousSYN enables the paper's §4.1.2 patch: all subflow
@@ -86,6 +88,28 @@ type Subflow struct {
 	// next MSS boundary; pump sets it to steer the scheduler toward
 	// other subflows for the rest of the current pass.
 	alignHold bool
+
+	// Delivery-rate telemetry: ackedBytes counts cumulatively ACKed
+	// payload bytes on this subflow; dlv and placed are the windowed
+	// estimators (delivered and scheduler-placed bytes respectively)
+	// the adaptive policy reads. Fed for every scheduler so exports
+	// can carry per-path delivery telemetry regardless of policy.
+	ackedBytes int64
+	dlv        RateEstimator
+	placed     RateEstimator
+}
+
+// AckedBytes reports the payload bytes the peer has cumulatively
+// ACKed on this subflow — the per-path delivered-volume telemetry
+// (duplicate copies and retransmissions count once, like the ACK
+// stream itself).
+func (sf *Subflow) AckedBytes() int64 { return sf.ackedBytes }
+
+// DeliveryRate reports the subflow's windowed delivery rate in bytes
+// per second as of the connection's current virtual time. Zero for a
+// path that delivered nothing within the window.
+func (sf *Subflow) DeliveryRate() float64 {
+	return sf.dlv.Rate(sf.conn.sim.Now())
 }
 
 // usable reports whether the scheduler may assign data to this subflow.
@@ -302,6 +326,8 @@ func (c *Conn) addSubflow(local, remote seg.Addr, label string) *Subflow {
 		conn:      c,
 		joinNonce: uint32(c.rng.Int63()),
 	}
+	sf.dlv.Init(DefaultRateWindow)
+	sf.placed.Init(DefaultRateWindow)
 	ep := tcp.NewEndpoint(c.host, c.net, local, remote, tcpCfg, c.rng.Child("sf"))
 	sf.EP = ep
 	c.subflows = append(c.subflows, sf)
@@ -317,10 +343,22 @@ func (c *Conn) addSubflow(local, remote seg.Addr, label string) *Subflow {
 	ep.OnSegmentArrival = func(s *seg.Segment) { c.onSegment(sf, s) }
 	ep.OnEstablished = func() { c.onSubflowEstablished(sf) }
 	ep.OnSendReady = func() { c.pump() }
-	ep.OnAcked = func(int64) { c.pump() }
+	ep.OnAcked = func(n int64) { c.noteDelivered(sf, n); c.pump() }
 	ep.OnTimeout = func(consecutive int) { c.onSubflowTimeout(sf, consecutive) }
 	return sf
 }
+
+// noteDelivered feeds one cumulative-ACK advance into the subflow's
+// delivery telemetry (counter plus windowed rate estimator).
+func (c *Conn) noteDelivered(sf *Subflow, n int64) {
+	sf.ackedBytes += n
+	sf.dlv.Add(c.sim.Now(), n)
+}
+
+// unassignedBytes is the send-stream backlog the scheduler has not yet
+// mapped to any subflow — the quantity BLEST's blocking estimate
+// compares against the fast path's projected capacity.
+func (c *Conn) unassignedBytes() int64 { return int64(c.sndEndData - c.sndNxtData) }
 
 // onSubflowEstablished runs when any subflow completes its handshake.
 func (c *Conn) onSubflowEstablished(sf *Subflow) {
@@ -494,7 +532,7 @@ func (c *Conn) pump() {
 		start := c.sndNxtData
 		sf.mappings = append(sf.mappings, mapping{dataSeq: start, off: off, length: chunk})
 		c.sndNxtData += uint64(chunk)
-		c.notePlacement(i)
+		c.notePlacement(i, chunk)
 		sf.EP.Write(int(chunk))
 		// Redundant schedulers place copies of the same data-sequence
 		// range on additional subflows. Copies are marked reinjected so
@@ -513,10 +551,12 @@ func (c *Conn) pump() {
 }
 
 // notePlacement records one fresh-chunk placement for the conformance
-// harness's scheduler-behavior metrics. Duplicate copies and
-// reinjections are not placements — only the scheduler's Pick
-// decisions count.
-func (c *Conn) notePlacement(i int) {
+// harness's scheduler-behavior metrics and feeds the subflow's
+// windowed placed-bytes estimator (the numerator of the adaptive
+// policy's deficit score). Duplicate copies and reinjections are not
+// placements — only the scheduler's Pick decisions count.
+func (c *Conn) notePlacement(i int, n int64) {
+	c.subflows[i].placed.Add(c.sim.Now(), n)
 	for len(c.placeCounts) <= i {
 		c.placeCounts = append(c.placeCounts, 0)
 	}

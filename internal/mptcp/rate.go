@@ -1,0 +1,115 @@
+package mptcp
+
+import "mptcplab/internal/sim"
+
+// The adaptive scheduler needs to know how fast each path is delivering
+// *right now*, not on average since the handshake: a 5G mmWave path
+// that moved 40 MB before walking into a fade still deserves a weight
+// of ~zero while the fade lasts. RateEstimator measures a windowed
+// byte rate over a small ring of fixed-duration buckets — O(1) memory,
+// O(1) amortized per sample — so every subflow can afford one for
+// delivered (cumulatively ACKed) bytes and one for scheduled bytes.
+
+// rateBuckets is the ring size; window resolution is Window/rateBuckets.
+const rateBuckets = 8
+
+// DefaultRateWindow is the estimation window used for the per-subflow
+// delivery-rate telemetry: long enough to smooth ACK-clock burstiness
+// over several cellular RTTs, short enough that a mmWave blockage fade
+// (hundreds of milliseconds to seconds) drains the estimate before the
+// scheduler has placed much more data on the dying path.
+const DefaultRateWindow = 1 * sim.Second
+
+// RateEstimator is a windowed byte-rate estimator over virtual time.
+// The zero value is unusable; call Init (or construct with a window)
+// before Add/Rate. Time must not run backwards — out-of-order samples
+// are folded into the current bucket rather than corrupting the ring.
+type RateEstimator struct {
+	window    sim.Time
+	bucketDur sim.Time
+	buckets   [rateBuckets]int64
+	total     int64
+	cur       int      // index of the bucket covering curStart..+bucketDur
+	curStart  sim.Time // left edge of the current bucket
+	started   bool     // true once the first sample anchors the grid
+}
+
+// Init sets the estimation window and clears all state. A non-positive
+// window falls back to DefaultRateWindow.
+func (r *RateEstimator) Init(window sim.Time) {
+	if window <= 0 {
+		window = DefaultRateWindow
+	}
+	*r = RateEstimator{window: window, bucketDur: window / rateBuckets}
+}
+
+// advance rotates the ring forward until the bucket grid covers now.
+// Monotone by construction: a stale now (before the current bucket)
+// rotates nothing, and a jump of any size lands on the aligned grid
+// position in at most rateBuckets steps.
+func (r *RateEstimator) advance(now sim.Time) {
+	if r.bucketDur <= 0 {
+		r.Init(r.window)
+	}
+	if !r.started {
+		r.started = true
+		// Anchor the grid on the first observation.
+		r.curStart = now - now%r.bucketDur
+		return
+	}
+	if now < r.curStart+r.bucketDur {
+		return
+	}
+	steps := int64((now - r.curStart) / r.bucketDur)
+	if steps >= rateBuckets {
+		// The whole window expired: clear everything, re-anchor.
+		r.buckets = [rateBuckets]int64{}
+		r.total = 0
+		r.curStart = now - now%r.bucketDur
+		return
+	}
+	for i := int64(0); i < steps; i++ {
+		r.cur = (r.cur + 1) % rateBuckets
+		r.total -= r.buckets[r.cur]
+		r.buckets[r.cur] = 0
+		r.curStart += r.bucketDur
+	}
+}
+
+// Add records n bytes observed at virtual time now.
+func (r *RateEstimator) Add(now sim.Time, n int64) {
+	if n <= 0 {
+		return
+	}
+	r.advance(now)
+	r.buckets[r.cur] += n
+	r.total += n
+}
+
+// Rate returns the windowed byte rate (bytes per second) as of now.
+// A path that has never delivered — or has delivered nothing within
+// the window — reports exactly 0; the estimator never divides by zero
+// and never produces NaN or Inf.
+func (r *RateEstimator) Rate(now sim.Time) float64 {
+	if r.bucketDur <= 0 || !r.started {
+		return 0
+	}
+	r.advance(now)
+	if r.total <= 0 {
+		return 0
+	}
+	span := r.window.Seconds()
+	if span <= 0 {
+		return 0
+	}
+	return float64(r.total) / span
+}
+
+// Total returns the bytes currently inside the window (advanced to now).
+func (r *RateEstimator) Total(now sim.Time) int64 {
+	if r.bucketDur <= 0 || !r.started {
+		return 0
+	}
+	r.advance(now)
+	return r.total
+}

@@ -1,0 +1,117 @@
+package mptcp
+
+import (
+	"math"
+	"testing"
+
+	"mptcplab/internal/sim"
+)
+
+// TestRateEstimatorNeverDelivering pins the zero-division contract: a
+// path that never delivers reports exactly 0 — never NaN, never Inf —
+// whether the estimator is fresh, zero-value, mis-inited, or has only
+// seen the clock move.
+func TestRateEstimatorNeverDelivering(t *testing.T) {
+	checks := func(name string, r *RateEstimator, now sim.Time) {
+		got := r.Rate(now)
+		if got != 0 {
+			t.Errorf("%s: Rate=%v, want 0", name, got)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Errorf("%s: Rate=%v is not finite", name, got)
+		}
+		if tot := r.Total(now); tot != 0 {
+			t.Errorf("%s: Total=%d, want 0", name, tot)
+		}
+	}
+
+	var zero RateEstimator // never Init'd
+	checks("zero-value", &zero, 5*sim.Second)
+
+	var fresh RateEstimator
+	fresh.Init(DefaultRateWindow)
+	checks("fresh", &fresh, 0)
+	checks("fresh@later", &fresh, 30*sim.Second)
+
+	var badWin RateEstimator
+	badWin.Init(-3 * sim.Second) // falls back to the default window
+	badWin.Add(1*sim.Second, 0)  // zero-byte samples are ignored
+	badWin.Add(1*sim.Second, -7) // so are negative ones
+	checks("nonpositive-samples", &badWin, 2*sim.Second)
+}
+
+// TestRateEstimatorConvergence feeds a constant-rate path and requires
+// the estimate to converge to the true rate within one window of
+// samples, then hold there.
+func TestRateEstimatorConvergence(t *testing.T) {
+	const (
+		chunk    = int64(1460)
+		interval = 25 * sim.Millisecond
+		want     = float64(chunk) * float64(sim.Second/interval) // B/s
+	)
+	var r RateEstimator
+	r.Init(DefaultRateWindow)
+	now := sim.Time(0)
+	samplesPerWindow := int(DefaultRateWindow / interval)
+	for i := 0; i < 4*samplesPerWindow; i++ {
+		r.Add(now, chunk)
+		now += interval
+		if i < samplesPerWindow {
+			continue // window still filling
+		}
+		got := r.Rate(now)
+		// One bucket (window/rateBuckets) of quantization slack.
+		tol := want / rateBuckets
+		if math.Abs(got-want) > tol {
+			t.Fatalf("sample %d: Rate=%.0f, want %.0f within %.0f", i, got, want, tol)
+		}
+	}
+}
+
+// TestRateEstimatorMonotoneAdvance pins the window semantics under a
+// moving clock: with no new samples the estimate is non-increasing as
+// time advances, a stale timestamp folds into the current bucket
+// instead of corrupting the ring, and a jump past the whole window
+// drains the estimate to zero.
+func TestRateEstimatorMonotoneAdvance(t *testing.T) {
+	var r RateEstimator
+	r.Init(1 * sim.Second)
+	now := sim.Time(0)
+	for i := 0; i < 8; i++ {
+		r.Add(now, 1000)
+		now += 100 * sim.Millisecond
+	}
+	prev := r.Rate(now)
+	if prev <= 0 {
+		t.Fatalf("Rate=%v after 8 samples, want > 0", prev)
+	}
+	// No further deliveries: the estimate must decay monotonically.
+	for i := 0; i < 20; i++ {
+		now += 100 * sim.Millisecond
+		got := r.Rate(now)
+		if got > prev {
+			t.Fatalf("Rate rose from %.0f to %.0f with no samples at now=%v", prev, got, now)
+		}
+		prev = got
+	}
+	if prev != 0 {
+		t.Fatalf("Rate=%v after window drained, want 0", prev)
+	}
+
+	// Stale sample: time must not run backwards through the ring.
+	r.Init(1 * sim.Second)
+	r.Add(2*sim.Second, 500)
+	r.Add(1*sim.Second, 500) // stale: folded into the current bucket
+	if tot := r.Total(2 * sim.Second); tot != 1000 {
+		t.Fatalf("Total=%d after stale fold, want 1000", tot)
+	}
+
+	// Jump far beyond the window: everything expires at once.
+	r.Add(90*sim.Second, 700)
+	if tot := r.Total(90 * sim.Second); tot != 700 {
+		t.Fatalf("Total=%d after full-window jump, want 700", tot)
+	}
+	if got := r.Rate(200 * sim.Second); got != 0 {
+		t.Fatalf("Rate=%v long after last sample, want 0", got)
+	}
+}

@@ -51,6 +51,8 @@ var schedulerMakers = map[string]func() Scheduler{
 	"weighted":   func() Scheduler { return &Weighted{} },
 	"redundant":  func() Scheduler { return &Redundant{} },
 	"backup":     func() Scheduler { return &BackupMode{} },
+	"blest":      func() Scheduler { return &BLEST{} },
+	"adaptive":   func() Scheduler { return &Adaptive{} },
 }
 
 // schedulerAliases maps legacy spellings to canonical names, so

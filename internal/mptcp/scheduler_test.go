@@ -100,6 +100,7 @@ func TestNewSchedulerNames(t *testing.T) {
 func TestParseSchedulerValidation(t *testing.T) {
 	for _, spec := range []string{
 		"minrtt", "roundrobin", "weighted", "redundant", "backup",
+		"blest", "adaptive",
 		"lowest-rtt", "round-robin", "", "weighted:3;1", "weighted:0.5;2;1",
 	} {
 		if err := ValidateScheduler(spec); err != nil {

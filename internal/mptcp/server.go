@@ -145,6 +145,8 @@ func (s *Server) wireSubflow(c *Conn, ep *tcp.Endpoint, label string) *Subflow {
 		conn:  c,
 		EP:    ep,
 	}
+	sf.dlv.Init(DefaultRateWindow)
+	sf.placed.Init(DefaultRateWindow)
 	c.subflows = append(c.subflows, sf)
 	c.flows = append(c.flows, ep)
 	// The listener created ep with the plain-TCP config; as a subflow
@@ -160,7 +162,7 @@ func (s *Server) wireSubflow(c *Conn, ep *tcp.Endpoint, label string) *Subflow {
 	ep.OnSegmentArrival = func(sg *seg.Segment) { c.onSegment(sf, sg) }
 	ep.OnEstablished = func() { c.onSubflowEstablished(sf) }
 	ep.OnSendReady = func() { c.pump() }
-	ep.OnAcked = func(int64) { c.pump() }
+	ep.OnAcked = func(n int64) { c.noteDelivered(sf, n); c.pump() }
 	ep.OnTimeout = func(consecutive int) { c.onSubflowTimeout(sf, consecutive) }
 	return sf
 }
