@@ -4,7 +4,7 @@ SHA := $(shell git rev-parse --short HEAD)
 # Benchmarks archived per commit and gated on allocs/op by benchjson.
 GATED_BENCHES := BenchmarkSimEventLoop|BenchmarkSegEncodeDecode|BenchmarkSingleDownload4MB|BenchmarkTCPSingle4MB
 
-.PHONY: all build test race vet bench bench-diff fuzz-smoke cover loadsmoke chaos-smoke sched-smoke
+.PHONY: all build test race vet bench bench-diff fuzz-smoke cover loadsmoke chaos-smoke sched-smoke serve-smoke
 
 all: vet build test
 
@@ -101,6 +101,17 @@ chaos-smoke:
 	@echo "chaos-smoke: chaos sweep + resilience exports byte-identical across worker counts"
 	@rm -f chaos_w1.csv chaos_w4.csv chaos_w1.json chaos_w4.json \
 		chaosres_w1.csv chaosres_w4.csv chaosres_w1.json chaosres_w4.json
+
+# serve-smoke is the service layer's acceptance gate: boot mptcpd on a
+# random port, submit a small experiment campaign and a small load
+# campaign twice each, and assert (1) every artifact is byte-identical
+# to running paperbench / mptcpload's writers directly, (2) the second
+# submission of each is answered 100% from the content-addressed
+# cache, and (3) cancellation mid-campaign still exports the completed
+# prefix. The assertions live in cmd/mptcpd's TestServe* suite.
+serve-smoke:
+	$(GO) test -count=1 -timeout 5m -run '^TestServe' -v ./cmd/mptcpd/
+	@echo "serve-smoke: daemon artifacts byte-identical to direct runners; repeat submissions 100% cache hits"
 
 # cover enforces the statement-coverage floor (baseline 72.7% when the
 # gate landed; the floor leaves a little slack for counter drift).

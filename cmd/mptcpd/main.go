@@ -1,0 +1,67 @@
+// Command mptcpd serves the repo's measurement campaigns as a
+// service: submit a campaign spec over HTTP/JSON, poll its progress,
+// stream its per-run rows, and download CSV/JSON artifacts that are
+// byte-identical to running paperbench or mptcpload directly. Repeat
+// submissions are answered from a content-addressed result cache —
+// runs are pure functions of (canonical config, seed), so caching is
+// sound by construction.
+//
+//	mptcpd -addr :8080
+//	curl -s localhost:8080/v1/campaigns -d '{"experiment":"fig8","reps":2,"seed":42}'
+//	curl -s localhost:8080/v1/campaigns/c1
+//	curl -s localhost:8080/v1/campaigns/c1/rows
+//	curl -s localhost:8080/v1/campaigns/c1/export.csv
+//	curl -s 'localhost:8080/v1/replay?token=clients=20,rate=3,...'
+//
+// SIGINT/SIGTERM drains in-flight workers: the running campaign stops
+// claiming new runs, its completed rows are exported with the
+// campaign marked cancelled, and the listener shuts down gracefully.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+
+	s := newServer(ctx)
+	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "mptcpd: listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "mptcpd:", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "mptcpd: draining (signal received)")
+		// The root context cancellation already tells the running
+		// campaign's workers to finish their current runs and stop;
+		// give the listener a bounded window to flush responses.
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "mptcpd:", err)
+			os.Exit(1)
+		}
+	}
+}

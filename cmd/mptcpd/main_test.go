@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+	"time"
+
+	"mptcplab/internal/experiment"
+	"mptcplab/internal/load"
+)
+
+// newTestServer boots the daemon on a random port (httptest) with a
+// fresh cache, exactly as `make serve-smoke` exercises it.
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ts := httptest.NewServer(newServer(ctx).routes())
+	t.Cleanup(func() { cancel(); ts.Close() })
+	return ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec string) statusView {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("submit %s: status %d: %s", spec, resp.StatusCode, body)
+	}
+	var st statusView
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatalf("submit response %q: %v", body, err)
+	}
+	return st
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) statusView {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statusView
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func waitTerminal(t *testing.T, ts *httptest.Server, id string) statusView {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		switch st.State {
+		case stateDone, stateCancelled, stateFailed:
+			return st
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s did not finish in time", id)
+	return statusView{}
+}
+
+func getBytes(t *testing.T, ts *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestServeExperimentCampaign is the serve-smoke acceptance check for
+// the experiment kind: the daemon's artifacts are byte-identical to
+// running the campaign directly (paperbench's writers), and a repeat
+// submission is answered 100% from the content-addressed cache with
+// the same bytes.
+func TestServeExperimentCampaign(t *testing.T) {
+	ts := newTestServer(t)
+	spec := `{"experiment":"fig8","reps":1,"seed":42,"workers":2}`
+
+	first := submit(t, ts, spec)
+	st := waitTerminal(t, ts, first.ID)
+	if st.State != stateDone {
+		t.Fatalf("first submission ended %q (error %q)", st.State, st.Error)
+	}
+	if st.CacheHits != 0 || st.CacheMisses == 0 {
+		t.Fatalf("cold run should be all misses: hits=%d misses=%d", st.CacheHits, st.CacheMisses)
+	}
+	csv1 := getBytes(t, ts, "/v1/campaigns/"+first.ID+"/export.csv")
+	json1 := getBytes(t, ts, "/v1/campaigns/"+first.ID+"/export.json")
+
+	// Direct run: same campaign, same opts the daemon uses.
+	m := experiment.SimultaneousSYN(experiment.CampaignOpts{
+		Reps: 1, Seed: 42, SampleProfiles: true,
+	})
+	var wantCSV bytes.Buffer
+	if err := experiment.WriteCSV(&wantCSV, m); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1, wantCSV.Bytes()) {
+		t.Fatal("daemon export.csv differs from the direct campaign run")
+	}
+	out := struct {
+		Cells         []experiment.CellExport         `json:"cells"`
+		Distributions []experiment.DistributionExport `json:"distributions,omitempty"`
+	}{Cells: m.Export()}
+	var wantJSON bytes.Buffer
+	enc := json.NewEncoder(&wantJSON)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(json1, wantJSON.Bytes()) {
+		t.Fatal("daemon export.json differs from the direct campaign run")
+	}
+
+	// Repeat submission: answered entirely from cache, same bytes.
+	second := submit(t, ts, spec)
+	st2 := waitTerminal(t, ts, second.ID)
+	if st2.State != stateDone {
+		t.Fatalf("second submission ended %q (error %q)", st2.State, st2.Error)
+	}
+	if st2.CacheMisses != 0 || st2.CacheHits != st.CacheMisses {
+		t.Fatalf("repeat submission not a 100%% cache hit: hits=%d misses=%d (cold run had %d runs)",
+			st2.CacheHits, st2.CacheMisses, st.CacheMisses)
+	}
+	csv2 := getBytes(t, ts, "/v1/campaigns/"+second.ID+"/export.csv")
+	if !bytes.Equal(csv1, csv2) {
+		t.Fatal("cache-served export.csv differs from the cold run's")
+	}
+
+	// NDJSON rows: one valid record per run, all marked cached on the
+	// repeat submission.
+	rows := bytes.Split(bytes.TrimSpace(getBytes(t, ts, "/v1/campaigns/"+second.ID+"/rows")), []byte("\n"))
+	if len(rows) != int(st.CacheMisses) {
+		t.Fatalf("rows stream has %d records, want %d", len(rows), st.CacheMisses)
+	}
+	for _, row := range rows {
+		var rec experimentRow
+		if err := json.Unmarshal(row, &rec); err != nil {
+			t.Fatalf("bad NDJSON row %q: %v", row, err)
+		}
+		if !rec.Cached {
+			t.Fatalf("repeat-submission row not served from cache: %s", row)
+		}
+	}
+}
+
+// TestServeLoadCampaign: same acceptance check for the load kind,
+// plus a cache-aware replay-token lookup of one exported row.
+func TestServeLoadCampaign(t *testing.T) {
+	ts := newTestServer(t)
+	const base = "clients=8,flows=12,dur=5s"
+	spec := fmt.Sprintf(`{"kind":"load","base":"%s","rates":[3,6],"reps":1,"seed":7,"workers":2}`, base)
+
+	first := submit(t, ts, spec)
+	st := waitTerminal(t, ts, first.ID)
+	if st.State != stateDone {
+		t.Fatalf("load campaign ended %q (error %q)", st.State, st.Error)
+	}
+	csv1 := getBytes(t, ts, "/v1/campaigns/"+first.ID+"/export.csv")
+	json1 := getBytes(t, ts, "/v1/campaigns/"+first.ID+"/export.json")
+
+	// Direct run through the CLI runner's path.
+	baseCfg, err := load.ParseReplay(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := load.RunSweep(load.SweepOpts{Base: baseCfg, Rates: []float64{3, 6}, Reps: 1, Seed: 7})
+	var wantCSV, wantJSON bytes.Buffer
+	if err := sw.WriteCSV(&wantCSV, baseCfg); err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.WriteJSON(&wantJSON, baseCfg); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(csv1, wantCSV.Bytes()) {
+		t.Fatal("daemon load export.csv differs from RunSweep's")
+	}
+	if !bytes.Equal(json1, wantJSON.Bytes()) {
+		t.Fatal("daemon load export.json differs from RunSweep's")
+	}
+
+	// Repeat submission: all hits, identical artifacts.
+	second := submit(t, ts, spec)
+	st2 := waitTerminal(t, ts, second.ID)
+	if st2.State != stateDone || st2.CacheMisses != 0 || st2.CacheHits != st.CacheMisses {
+		t.Fatalf("repeat load submission: state=%q hits=%d misses=%d (cold had %d runs)",
+			st2.State, st2.CacheHits, st2.CacheMisses, st.CacheMisses)
+	}
+	if !bytes.Equal(csv1, getBytes(t, ts, "/v1/campaigns/"+second.ID+"/export.csv")) {
+		t.Fatal("cache-served load export.csv differs from the cold run's")
+	}
+
+	// Replay one exported row by its token: the daemon must answer
+	// from the cache with exactly the row the campaign exported.
+	var exported []load.RunExport
+	if err := json.Unmarshal(json1, &exported); err != nil || len(exported) == 0 {
+		t.Fatalf("decoding export.json (%d rows): %v", len(exported), err)
+	}
+	want := exported[0]
+	body := getBytes(t, ts, "/v1/replay?token="+url.QueryEscape(want.Replay))
+	var view struct {
+		Cached bool           `json:"cached"`
+		Run    load.RunExport `json:"run"`
+	}
+	if err := json.Unmarshal(body, &view); err != nil {
+		t.Fatal(err)
+	}
+	if !view.Cached {
+		t.Fatalf("replay of an already-run token was recomputed: %s", body)
+	}
+	view.Run.Rep = want.Rep // rep label is positional, not content-addressed
+	got, _ := json.Marshal(view.Run)
+	expected, _ := json.Marshal(want)
+	if !bytes.Equal(got, expected) {
+		t.Fatalf("replayed row differs from exported row:\n got %s\nwant %s", got, expected)
+	}
+}
+
+// TestServeCancelDrains: DELETE mid-campaign stops new runs, marks
+// the campaign cancelled, and still serves the completed prefix as
+// partial exports.
+func TestServeCancelDrains(t *testing.T) {
+	ts := newTestServer(t)
+	spec := `{"kind":"load","base":"clients=12,flows=30,dur=10s","reps":40,"seed":9,"workers":1}`
+	c := submit(t, ts, spec)
+
+	// Wait until at least one run has completed, then cancel.
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		st := getStatus(t, ts, c.ID)
+		if st.Done >= 1 {
+			break
+		}
+		if st.State == stateDone {
+			t.Skip("campaign finished before cancel could land")
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("campaign made no progress")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/campaigns/"+c.ID, nil)
+	if _, err := http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	st := waitTerminal(t, ts, c.ID)
+	if st.State != stateCancelled {
+		t.Fatalf("cancelled campaign ended %q", st.State)
+	}
+	if st.Done >= st.Total {
+		t.Fatalf("cancel did not stop the campaign early: %d/%d runs", st.Done, st.Total)
+	}
+	csv := getBytes(t, ts, "/v1/campaigns/"+c.ID+"/export.csv")
+	lines := bytes.Split(bytes.TrimSpace(csv), []byte("\n"))
+	if got := len(lines) - 1; got != st.Done {
+		t.Fatalf("partial export has %d rows, want the %d completed runs", got, st.Done)
+	}
+}
+
+// TestServeRejectsBadSpecs pins the submit-time validation surface.
+func TestServeRejectsBadSpecs(t *testing.T) {
+	ts := newTestServer(t)
+	for _, spec := range []string{
+		`{"experiment":"fig99"}`,
+		`{"kind":"load","base":"clients=banana"}`,
+		`{"kind":"load","scheds":["warp-drive"]}`,
+		`{"kind":"quantum"}`,
+		`{"experiment":"fig8","reps":-1}`,
+	} {
+		resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("spec %s accepted with status %d", spec, resp.StatusCode)
+		}
+	}
+}

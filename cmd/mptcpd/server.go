@@ -1,0 +1,723 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"mptcplab/internal/chaos"
+	"mptcplab/internal/experiment"
+	"mptcplab/internal/load"
+	"mptcplab/internal/mptcp"
+	"mptcplab/internal/sweep"
+)
+
+// loadSalt is load.RunSweep's historical shuffle salt; the daemon
+// uses the same one so a campaign walks its job list in exactly the
+// order the CLI runner would.
+const loadSalt = 0x10ad
+
+const (
+	kindExperiment = "experiment"
+	kindLoad       = "load"
+
+	stateQueued    = "queued"
+	stateRunning   = "running"
+	stateDone      = "done"
+	stateCancelled = "cancelled"
+	stateFailed    = "failed"
+)
+
+// campaignSpec is the POST /v1/campaigns request body. Everything in
+// it is configuration (part of the result), except Workers, which is
+// execution policy: exports are byte-identical for any worker count.
+type campaignSpec struct {
+	Kind string `json:"kind"` // "experiment" (default) | "load"
+	Seed int64  `json:"seed"`
+	Reps int    `json:"reps,omitempty"`
+	// Workers sizes the run pool (0 = all CPUs, 1 = serial).
+	Workers int `json:"workers,omitempty"`
+
+	// Experiment campaigns: a registry name or alias (fig2, fig4,
+	// fig6, fig8, fig9, fig11, fig12, shootout, mobility, table3, ...).
+	Experiment string `json:"experiment,omitempty"`
+	Periods    bool   `json:"periods,omitempty"`
+	SelfCheck  bool   `json:"selfcheck,omitempty"`
+
+	// Load campaigns: a base config as a load replay token
+	// ("clients=40,rate=3,dur=10s,..."; empty = package defaults)
+	// plus the sweep axes.
+	Base    string    `json:"base,omitempty"`
+	Rates   []float64 `json:"rates,omitempty"`
+	Clients []int     `json:"clients,omitempty"`
+	Scheds  []string  `json:"scheds,omitempty"`
+}
+
+// loadRow is the cached/streamed unit of a load campaign: one run's
+// export row(s). It round-trips through JSON exactly, so a cache hit
+// reproduces the cold run's export bytes.
+type loadRow struct {
+	Run        load.RunExport         `json:"run"`
+	Resilience *load.ResilienceExport `json:"resilience,omitempty"`
+}
+
+// experimentRow is the NDJSON progress record for one campaign run.
+type experimentRow struct {
+	experiment.CampaignJob
+	Completed bool    `json:"completed"`
+	DownloadS float64 `json:"download_s"`
+	CellShare float64 `json:"cell_share"`
+	Subflows  int     `json:"subflows"`
+	Fail      string  `json:"fail,omitempty"`
+	Cached    bool    `json:"cached,omitempty"`
+}
+
+type campaignState struct {
+	id   string
+	spec campaignSpec
+	name string // canonical experiment name ("" for load campaigns)
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	finished chan struct{}
+
+	mu           sync.Mutex
+	state        string
+	done, total  int
+	hits, misses int64
+	rows         []json.RawMessage // completion-order progress feed
+	errMsg       string
+	exports      map[string][]byte // export.csv, export.json, resilience.*
+}
+
+func (c *campaignState) setState(st string) {
+	c.mu.Lock()
+	c.state = st
+	c.mu.Unlock()
+}
+
+func (c *campaignState) fail(err error) {
+	c.mu.Lock()
+	c.state = stateFailed
+	c.errMsg = err.Error()
+	c.mu.Unlock()
+}
+
+func (c *campaignState) progress(done, total int) {
+	c.mu.Lock()
+	c.done, c.total = done, total
+	c.mu.Unlock()
+}
+
+// note counts one run against the campaign's cache accounting.
+func (c *campaignState) note(hit bool) {
+	c.mu.Lock()
+	if hit {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+}
+
+func (c *campaignState) appendRow(v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	c.mu.Lock()
+	c.rows = append(c.rows, b)
+	c.mu.Unlock()
+}
+
+func (c *campaignState) setExports(exp map[string][]byte) {
+	c.mu.Lock()
+	c.exports = exp
+	c.mu.Unlock()
+}
+
+func (c *campaignState) terminal() bool {
+	switch c.state {
+	case stateDone, stateCancelled, stateFailed:
+		return true
+	}
+	return false
+}
+
+// statusView is the GET /v1/campaigns/{id} body.
+type statusView struct {
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	Name        string `json:"name,omitempty"`
+	State       string `json:"state"`
+	Done        int    `json:"done"`
+	Total       int    `json:"total"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	Rows        int    `json:"rows"`
+	Error       string `json:"error,omitempty"`
+}
+
+func (c *campaignState) status() statusView {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return statusView{
+		ID: c.id, Kind: c.spec.Kind, Name: c.name, State: c.state,
+		Done: c.done, Total: c.total,
+		CacheHits: c.hits, CacheMisses: c.misses,
+		Rows: len(c.rows), Error: c.errMsg,
+	}
+}
+
+type server struct {
+	ctx   context.Context
+	cache *sweep.Cache
+	queue chan *campaignState
+
+	mu        sync.Mutex
+	campaigns map[string]*campaignState
+	order     []string
+	nextID    int
+}
+
+func newServer(ctx context.Context) *server {
+	s := &server{
+		ctx:       ctx,
+		cache:     sweep.NewCache(),
+		queue:     make(chan *campaignState, 128),
+		campaigns: map[string]*campaignState{},
+	}
+	go s.runLoop()
+	return s
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
+	mux.HandleFunc("GET /v1/campaigns", s.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/campaigns/{id}/rows", s.handleRows)
+	mux.HandleFunc("GET /v1/campaigns/{id}/{artifact}", s.handleExport)
+	mux.HandleFunc("GET /v1/replay", s.handleReplay)
+	return mux
+}
+
+// runLoop executes campaigns one at a time, in submission order. One
+// campaign already saturates the CPUs through its own worker pool;
+// serializing keeps memory bounded and wall-clock accounting honest.
+func (s *server) runLoop() {
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case c := <-s.queue:
+			if c.ctx.Err() != nil { // cancelled while queued
+				c.setState(stateCancelled)
+				close(c.finished)
+				continue
+			}
+			s.runCampaign(c)
+		}
+	}
+}
+
+func (s *server) runCampaign(c *campaignState) {
+	defer close(c.finished)
+	c.setState(stateRunning)
+	var err error
+	contained := chaos.Contain(func() {
+		if c.spec.Kind == kindLoad {
+			err = s.runLoad(c)
+		} else {
+			err = s.runExperiment(c)
+		}
+	})
+	switch {
+	case contained != nil:
+		line, _, _ := strings.Cut(contained.Error(), "\n")
+		c.fail(fmt.Errorf("%s", line))
+	case err != nil:
+		c.fail(err)
+	case c.ctx.Err() != nil:
+		c.setState(stateCancelled)
+	default:
+		c.setState(stateDone)
+	}
+}
+
+// experimentKey is the content address of one campaign run: the job
+// descriptor carries everything that determines the result (and
+// nothing that doesn't — see experiment.CampaignJob), and the derived
+// per-run seed keys separately so distinct seeds cannot collide.
+func experimentKey(job experiment.CampaignJob) (string, error) {
+	return sweep.Key(struct {
+		Kind string                 `json:"kind"`
+		Job  experiment.CampaignJob `json:"job"`
+	}{Kind: kindExperiment, Job: job}, job.Seed)
+}
+
+// experimentIntercept wraps every campaign run with the
+// content-addressed cache: runs are pure functions of the job
+// descriptor, so substituting a stored result is sound by
+// construction. Failed runs (watchdog/panic — wall-clock facts) are
+// never cached.
+func (s *server) experimentIntercept(c *campaignState) func(experiment.CampaignJob, func() experiment.RunResult) experiment.RunResult {
+	return func(job experiment.CampaignJob, run func() experiment.RunResult) experiment.RunResult {
+		key, kerr := experimentKey(job)
+		if kerr == nil {
+			if b, ok := s.cache.Get(key); ok {
+				var res experiment.RunResult
+				if err := json.Unmarshal(b, &res); err == nil {
+					c.note(true)
+					c.appendRow(newExperimentRow(job, res, true))
+					return res
+				}
+			}
+		}
+		res := run()
+		c.note(false)
+		if kerr == nil && res.FailReason == "" && res.Resilience == nil {
+			if b, err := json.Marshal(res); err == nil {
+				s.cache.Put(key, b)
+			}
+		}
+		c.appendRow(newExperimentRow(job, res, false))
+		return res
+	}
+}
+
+func newExperimentRow(job experiment.CampaignJob, res experiment.RunResult, cached bool) experimentRow {
+	return experimentRow{
+		CampaignJob: job,
+		Completed:   res.Completed,
+		DownloadS:   res.DownloadTime.Seconds(),
+		CellShare:   res.CellShare(),
+		Subflows:    res.Subflows,
+		Fail:        res.FailReason,
+		Cached:      cached,
+	}
+}
+
+func (s *server) runExperiment(c *campaignState) error {
+	m, err := experiment.NewCampaign(c.name, experiment.CampaignOpts{
+		Reps: c.spec.Reps, Seed: c.spec.Seed, Workers: c.spec.Workers,
+		SampleProfiles: true, Periods: c.spec.Periods, SelfCheck: c.spec.SelfCheck,
+		Context:   c.ctx,
+		Progress:  c.progress,
+		Intercept: s.experimentIntercept(c),
+	})
+	if err != nil {
+		return err
+	}
+	var csv bytes.Buffer
+	if err := experiment.WriteCSV(&csv, m); err != nil {
+		return err
+	}
+	// Mirror paperbench -format json byte for byte.
+	out := struct {
+		Cells         []experiment.CellExport         `json:"cells"`
+		Distributions []experiment.DistributionExport `json:"distributions,omitempty"`
+	}{Cells: m.Export()}
+	if c.name == "fig12" {
+		out.Distributions = m.ExportDistributions()
+	}
+	var jb bytes.Buffer
+	enc := json.NewEncoder(&jb)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&out); err != nil {
+		return err
+	}
+	c.setExports(map[string][]byte{
+		"export.csv":  csv.Bytes(),
+		"export.json": jb.Bytes(),
+	})
+	return nil
+}
+
+// loadKey is the content address of one fleet run. The replay token
+// canonically renders every knob reachable through the service
+// surface — all daemon-built configs come from load.ParseReplay, so
+// profiles and probe periods are always the defaults the token
+// assumes — and the per-run seed keys separately so distinct seeds
+// cannot collide.
+func loadKey(cfg load.Config) (string, error) {
+	seed := cfg.Seed
+	cfg.Seed = 0
+	return sweep.Key(struct {
+		Kind  string `json:"kind"`
+		Token string `json:"token"`
+	}{Kind: kindLoad, Token: cfg.ReplayToken()}, seed)
+}
+
+func newLoadRow(base load.Config, p load.SweepPoint, rep int, res *load.Result) *loadRow {
+	row := &loadRow{Run: load.ExportOne(base, p, rep, res)}
+	if re, ok := load.ExportResilienceOne(base, p, rep, res); ok {
+		row.Resilience = &re
+	}
+	return row
+}
+
+func (s *server) runLoad(c *campaignState) error {
+	base, err := loadBase(c.spec)
+	if err != nil {
+		return err
+	}
+	so := load.SweepOpts{
+		Base: base, Rates: c.spec.Rates, Clients: c.spec.Clients,
+		Scheds: c.spec.Scheds, Reps: c.spec.Reps, Seed: c.spec.Seed,
+	}
+	points := so.Grid()
+	reps := len(points[0].Runs)
+	type job struct{ point, rep int }
+	var jobs []job
+	for pi := range points {
+		for rep := 0; rep < reps; rep++ {
+			jobs = append(jobs, job{pi, rep})
+		}
+	}
+	cfgFor := func(k int) load.Config {
+		j := jobs[k]
+		cfg := load.PointConfig(base, points[j.point])
+		cfg.Seed = so.RunSeed(j.point, j.rep)
+		return cfg
+	}
+
+	rows := make([]*loadRow, len(jobs))
+	sweep.Run(sweep.Opts{
+		Seed: so.Seed, Salt: loadSalt, Workers: c.spec.Workers,
+		Context: c.ctx, Progress: c.progress,
+	}, len(jobs),
+		func(ws **load.Arena, k int) *loadRow {
+			j := jobs[k]
+			cfg := cfgFor(k)
+			key, kerr := loadKey(cfg)
+			if kerr == nil {
+				if b, ok := s.cache.Get(key); ok {
+					var row loadRow
+					if json.Unmarshal(b, &row) == nil {
+						// The rep label is positional, not part of the
+						// content address (only the seed varies with
+						// it) — restore this sweep's position so a hit
+						// exports byte-identically to a cold run.
+						row.Run.Rep = j.rep
+						if row.Resilience != nil {
+							row.Resilience.Rep = j.rep
+						}
+						c.note(true)
+						c.appendRow(&row)
+						return &row
+					}
+				}
+			}
+			if *ws == nil {
+				*ws = load.NewArena()
+			}
+			res := load.RunIn(*ws, cfg)
+			c.note(false)
+			row := newLoadRow(base, points[j.point], j.rep, res)
+			if kerr == nil && !res.Failed {
+				if b, err := json.Marshal(row); err == nil {
+					s.cache.Put(key, b)
+				}
+			}
+			c.appendRow(row)
+			return row
+		},
+		func(k int, err error) *loadRow {
+			j := jobs[k]
+			c.note(false)
+			row := newLoadRow(base, points[j.point], j.rep, load.FailedRun(cfgFor(k), err))
+			c.appendRow(row)
+			return row
+		},
+		func(k int, row *loadRow) { rows[k] = row })
+
+	// Rows land indexed by job — point-major, rep-minor — which is
+	// exactly the order Sweep.Export walks, so these artifacts are
+	// byte-identical to the CLI runner's.
+	var runRows []load.RunExport
+	var resRows []load.ResilienceExport
+	for _, r := range rows {
+		if r == nil {
+			continue // cancelled before execution
+		}
+		runRows = append(runRows, r.Run)
+		if r.Resilience != nil {
+			resRows = append(resRows, *r.Resilience)
+		}
+	}
+	exp := map[string][]byte{}
+	var b bytes.Buffer
+	if err := load.WriteRunsCSV(&b, runRows); err != nil {
+		return err
+	}
+	exp["export.csv"] = append([]byte(nil), b.Bytes()...)
+	b.Reset()
+	if err := load.WriteRunsJSON(&b, runRows); err != nil {
+		return err
+	}
+	exp["export.json"] = append([]byte(nil), b.Bytes()...)
+	if len(resRows) > 0 {
+		b.Reset()
+		if err := load.WriteResilienceRowsCSV(&b, resRows); err != nil {
+			return err
+		}
+		exp["resilience.csv"] = append([]byte(nil), b.Bytes()...)
+		b.Reset()
+		if err := load.WriteResilienceRowsJSON(&b, resRows); err != nil {
+			return err
+		}
+		exp["resilience.json"] = append([]byte(nil), b.Bytes()...)
+	}
+	c.setExports(exp)
+	return nil
+}
+
+func loadBase(spec campaignSpec) (load.Config, error) {
+	if spec.Base == "" {
+		return load.Config{}, nil
+	}
+	return load.ParseReplay(spec.Base)
+}
+
+func validateSpec(spec *campaignSpec) (name string, err error) {
+	if spec.Kind == "" {
+		spec.Kind = kindExperiment
+	}
+	if spec.Reps < 0 {
+		return "", fmt.Errorf("reps=%d is negative", spec.Reps)
+	}
+	switch spec.Kind {
+	case kindExperiment:
+		name = experiment.ResolveCampaign(spec.Experiment)
+		if name == "" {
+			return "", fmt.Errorf("unknown experiment %q (have %s)",
+				spec.Experiment, strings.Join(experiment.CampaignNames(), ", "))
+		}
+		return name, nil
+	case kindLoad:
+		if _, err := loadBase(*spec); err != nil {
+			return "", fmt.Errorf("bad base token: %v", err)
+		}
+		for _, sched := range spec.Scheds {
+			if err := mptcp.ValidateScheduler(sched); err != nil {
+				return "", err
+			}
+		}
+		return "", nil
+	}
+	return "", fmt.Errorf("unknown kind %q (want %q or %q)", spec.Kind, kindExperiment, kindLoad)
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec campaignSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		httpError(w, http.StatusBadRequest, "bad campaign spec: %v", err)
+		return
+	}
+	name, err := validateSpec(&spec)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	c := &campaignState{
+		spec: spec, name: name, state: stateQueued,
+		ctx: ctx, cancel: cancel, finished: make(chan struct{}),
+	}
+	s.mu.Lock()
+	s.nextID++
+	c.id = fmt.Sprintf("c%d", s.nextID)
+	s.campaigns[c.id] = c
+	s.order = append(s.order, c.id)
+	s.mu.Unlock()
+	select {
+	case s.queue <- c:
+	default:
+		cancel()
+		s.mu.Lock()
+		delete(s.campaigns, c.id)
+		s.order = s.order[:len(s.order)-1]
+		s.mu.Unlock()
+		httpError(w, http.StatusServiceUnavailable, "campaign queue full")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	writeJSON(w, c.status())
+}
+
+func (s *server) lookup(w http.ResponseWriter, r *http.Request) *campaignState {
+	s.mu.Lock()
+	c := s.campaigns[r.PathValue("id")]
+	s.mu.Unlock()
+	if c == nil {
+		httpError(w, http.StatusNotFound, "no campaign %q", r.PathValue("id"))
+	}
+	return c
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, struct {
+		Experiments []string `json:"experiments"`
+	}{experiment.CampaignNames()})
+}
+
+func (s *server) handleList(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	views := make([]statusView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.campaigns[id].status())
+	}
+	s.mu.Unlock()
+	entries, hits, misses := s.cache.Stats()
+	writeJSON(w, struct {
+		Campaigns    []statusView `json:"campaigns"`
+		CacheEntries int          `json:"cache_entries"`
+		CacheHits    int64        `json:"cache_hits"`
+		CacheMisses  int64        `json:"cache_misses"`
+	}{views, entries, hits, misses})
+}
+
+func (s *server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if c := s.lookup(w, r); c != nil {
+		writeJSON(w, c.status())
+	}
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	c.cancel()
+	writeJSON(w, c.status())
+}
+
+// handleRows streams the campaign's per-run rows as NDJSON. Rows
+// arrive in completion order (the progress feed); the deterministic
+// artifacts are the export endpoints. The stream follows a running
+// campaign until it reaches a terminal state.
+func (s *server) handleRows(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	sent := 0
+	for {
+		c.mu.Lock()
+		pending := c.rows[sent:]
+		terminal := c.terminal()
+		c.mu.Unlock()
+		for _, row := range pending {
+			w.Write(row)
+			w.Write([]byte("\n"))
+			sent++
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-c.finished:
+		case <-time.After(150 * time.Millisecond):
+		}
+	}
+}
+
+func (s *server) handleExport(w http.ResponseWriter, r *http.Request) {
+	c := s.lookup(w, r)
+	if c == nil {
+		return
+	}
+	artifact := r.PathValue("artifact")
+	c.mu.Lock()
+	terminal := c.terminal()
+	body, ok := c.exports[artifact]
+	c.mu.Unlock()
+	if !terminal {
+		httpError(w, http.StatusConflict, "campaign %s is %s; exports appear once it finishes", c.id, c.status().State)
+		return
+	}
+	if !ok {
+		httpError(w, http.StatusNotFound, "campaign %s has no artifact %q", c.id, artifact)
+		return
+	}
+	if strings.HasSuffix(artifact, ".json") {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "text/csv")
+	}
+	w.Write(body)
+}
+
+// handleReplay re-executes one run from its replay token, answering
+// from the content-addressed cache when the identical run (same
+// canonical config, same seed) already happened — a row lookup, not a
+// recomputation.
+func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	token := r.URL.Query().Get("token")
+	if token == "" {
+		httpError(w, http.StatusBadRequest, "missing token query parameter")
+		return
+	}
+	cfg, err := load.ParseReplay(token)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	type replayView struct {
+		Cached     bool                   `json:"cached"`
+		Run        load.RunExport         `json:"run"`
+		Resilience *load.ResilienceExport `json:"resilience,omitempty"`
+	}
+	key, kerr := loadKey(cfg)
+	if kerr == nil {
+		if b, ok := s.cache.Get(key); ok {
+			var row loadRow
+			if json.Unmarshal(b, &row) == nil {
+				writeJSON(w, replayView{Cached: true, Run: row.Run, Resilience: row.Resilience})
+				return
+			}
+		}
+	}
+	p := load.SweepPoint{Rate: cfg.Rate, Clients: cfg.Clients, Sched: cfg.Scheduler}
+	res := load.RunIn(load.NewArena(), cfg)
+	row := newLoadRow(cfg, p, 0, res)
+	if kerr == nil && !res.Failed {
+		if b, err := json.Marshal(row); err == nil {
+			s.cache.Put(key, b)
+		}
+	}
+	writeJSON(w, replayView{Run: row.Run, Resilience: row.Resilience})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{fmt.Sprintf(format, args...)})
+}

@@ -28,6 +28,17 @@ type ReportExport struct {
 	FaultBps    float64 `json:"res_fault_bps"`
 	SteadyBps   float64 `json:"res_steady_bps"`
 
+	// Per-path delivery-rate telemetry (bits/sec means of the
+	// per-tick RateEstimator samples, split by fault-window
+	// membership) and per-path mean recovery time after fault windows
+	// — zero when the run wired no Monitor.PathRates source.
+	WiFiFaultBps  float64 `json:"res_wifi_fault_bps"`
+	WiFiSteadyBps float64 `json:"res_wifi_steady_bps"`
+	WiFiTTRSec    float64 `json:"res_wifi_ttr_s"`
+	CellFaultBps  float64 `json:"res_cell_fault_bps"`
+	CellSteadyBps float64 `json:"res_cell_steady_bps"`
+	CellTTRSec    float64 `json:"res_cell_ttr_s"`
+
 	Retries  int `json:"res_retries"`
 	Timeouts int `json:"res_timeouts"`
 
@@ -62,6 +73,24 @@ func (r *Report) Export(spec string) ReportExport {
 	if r.TTRAcc.N() > 0 {
 		e.TTRMeanS = r.TTRAcc.Mean()
 		e.TTRMaxS = r.TTRAcc.Max()
+	}
+	if r.WiFiFaultRate.N() > 0 {
+		e.WiFiFaultBps = 8 * r.WiFiFaultRate.Mean()
+	}
+	if r.WiFiSteadyRate.N() > 0 {
+		e.WiFiSteadyBps = 8 * r.WiFiSteadyRate.Mean()
+	}
+	if r.CellFaultRate.N() > 0 {
+		e.CellFaultBps = 8 * r.CellFaultRate.Mean()
+	}
+	if r.CellSteadyRate.N() > 0 {
+		e.CellSteadyBps = 8 * r.CellSteadyRate.Mean()
+	}
+	if r.WiFiPathTTR.N() > 0 {
+		e.WiFiTTRSec = r.WiFiPathTTR.Mean()
+	}
+	if r.CellPathTTR.N() > 0 {
+		e.CellTTRSec = r.CellPathTTR.Mean()
 	}
 	return e
 }

@@ -57,11 +57,26 @@ type Monitor struct {
 	// timeout (default 5 s); each crossing increments Timeouts once.
 	TimeoutAfter sim.Time
 
+	// PathRates, when set, is sampled once per tick: the instantaneous
+	// aggregate delivery rate on each access path, in bytes of
+	// cumulatively ACKed payload per second (the per-subflow
+	// RateEstimator telemetry, summed over live sender connections).
+	// The samples split by fault-window membership and feed the
+	// report's per-path fault/steady rates and per-path recovery
+	// times, so a fade can be asserted path by path. Everything it
+	// returns must derive from virtual time only.
+	PathRates func() (wifi, cell float64)
+
 	sim     *sim.Simulator
 	windows []Window
 	flows   []*Tracked
 	marks   []Mark
 	closed  bool
+
+	// Per-path tick telemetry (index 0 = WiFi, 1 = cellular).
+	pathFault  [2]stats.Acc
+	pathSteady [2]stats.Acc
+	pathRecov  [2][]sim.Time // per schedule window, like Tracked.recov
 }
 
 // Mark is one fault transition the schedule reported via OnFault.
@@ -80,6 +95,12 @@ func NewMonitor(s *sim.Simulator, sc Schedule) *Monitor {
 		TimeoutAfter: 5 * sim.Second,
 		sim:          s,
 		windows:      sc.Windows(),
+	}
+	for p := range m.pathRecov {
+		m.pathRecov[p] = make([]sim.Time, len(m.windows))
+		for i := range m.pathRecov[p] {
+			m.pathRecov[p][i] = ttrPending
+		}
 	}
 	s.After(m.Period, "chaos-monitor", m.tick)
 	return m
@@ -262,7 +283,41 @@ func (m *Monitor) tick() {
 			t.observe(now)
 		}
 	}
+	if m.PathRates != nil {
+		m.observePaths(now)
+	}
 	m.sim.After(m.Period, "chaos-monitor", m.tick)
+}
+
+// observePaths folds one per-path delivery-rate sample: into the
+// fault or steady accumulator by window membership, and — for every
+// fault window already behind us that the path has not delivered
+// since — a recovery credit the first time the path's rate comes back
+// above zero (quantized to the sampling period, like flow TTRs).
+func (m *Monitor) observePaths(now sim.Time) {
+	wifi, cell := m.PathRates()
+	inFault := false
+	for _, w := range m.windows {
+		if now >= w.Start && now < w.End {
+			inFault = true
+			break
+		}
+	}
+	for p, rate := range [2]float64{wifi, cell} {
+		if inFault {
+			m.pathFault[p].Add(rate)
+		} else {
+			m.pathSteady[p].Add(rate)
+		}
+		if rate <= 0 {
+			continue
+		}
+		for i, w := range m.windows {
+			if m.pathRecov[p][i] == ttrPending && now >= w.End {
+				m.pathRecov[p][i] = now - w.End
+			}
+		}
+	}
 }
 
 // Finish stops sampling, finalizes every still-running flow's state at
@@ -271,6 +326,20 @@ func (m *Monitor) Finish() *Report {
 	m.closed = true
 	now := m.sim.Now()
 	r := &Report{Windows: m.windows, Marks: m.marks}
+	r.WiFiFaultRate, r.CellFaultRate = m.pathFault[0], m.pathFault[1]
+	r.WiFiSteadyRate, r.CellSteadyRate = m.pathSteady[0], m.pathSteady[1]
+	for p, recov := range m.pathRecov {
+		for _, t := range recov {
+			if t < 0 {
+				continue // never recovered, or window past run end
+			}
+			if p == 0 {
+				r.WiFiPathTTR.Add(t.Seconds())
+			} else {
+				r.CellPathTTR.Add(t.Seconds())
+			}
+		}
+	}
 	for _, t := range m.flows {
 		if t.endAt < 0 {
 			t.observe(now)
@@ -351,6 +420,14 @@ type Report struct {
 
 	FaultBytes, SteadyBytes int64
 	FaultDur, SteadyDur     sim.Time
+
+	// Per-path delivery-rate telemetry from Monitor.PathRates (all
+	// zero when no source was wired): per-tick delivery-rate samples
+	// in bytes/sec split by fault-window membership, and the per-
+	// schedule-window recovery times of each path in seconds.
+	WiFiFaultRate, WiFiSteadyRate stats.Acc
+	CellFaultRate, CellSteadyRate stats.Acc
+	WiFiPathTTR, CellPathTTR      stats.Acc
 
 	Retries, Timeouts int
 }

@@ -8,6 +8,7 @@ import (
 
 	"mptcplab/internal/chaos"
 	"mptcplab/internal/sim"
+	"mptcplab/internal/sweep"
 	"mptcplab/internal/units"
 )
 
@@ -159,7 +160,7 @@ func sabotageMatrix(t *testing.T, target int64, fn func(tb *Testbed)) {
 // contained as a cell failure; the rest of the campaign completes.
 func TestMatrixContainsPanickingRun(t *testing.T) {
 	opts := CampaignOpts{Reps: 3, Seed: 13, Workers: 2}
-	target := jobSeed(opts.Seed, 0, 0, 1)
+	target := sweep.Seed(opts.Seed, 0, 0, 1)
 	sabotageMatrix(t, target, func(tb *Testbed) { panic("injected matrix fault") })
 
 	sizes := []units.ByteCount{64 * units.KB}
@@ -193,7 +194,7 @@ func TestMatrixContainsPanickingRun(t *testing.T) {
 // as that cell's failure.
 func TestMatrixContainsLivelockedRun(t *testing.T) {
 	opts := CampaignOpts{Reps: 2, Seed: 19, Workers: 2}
-	target := jobSeed(opts.Seed, 1, 0, 0)
+	target := sweep.Seed(opts.Seed, 1, 0, 0)
 	sabotageMatrix(t, target, func(tb *Testbed) {
 		// Wedge the event loop mid-transfer: a self-rescheduling event
 		// that never lets virtual time advance.

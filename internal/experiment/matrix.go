@@ -4,14 +4,11 @@ import (
 	"context"
 	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
-	"mptcplab/internal/chaos"
 	"mptcplab/internal/pathmodel"
-	"mptcplab/internal/sim"
 	"mptcplab/internal/stats"
+	"mptcplab/internal/sweep"
 	"mptcplab/internal/units"
 )
 
@@ -185,6 +182,36 @@ type CampaignOpts struct {
 	// with Matrix.Cancelled set and only the completed runs absorbed —
 	// a Ctrl-C mid-campaign still yields exportable partial results.
 	Context context.Context
+
+	// Intercept, when non-nil, wraps every run: instead of executing
+	// directly, the runner calls Intercept(job, run) and uses its
+	// return value as the run's result. The callback may invoke run()
+	// (and must return exactly what it returned) or substitute a
+	// previously stored result for the same job — runs are pure
+	// functions of the job descriptor, so a content-addressed cache
+	// (sweep.Key over CampaignJob, which carries the derived seed) is
+	// sound by construction. Intercept is called from worker
+	// goroutines and must be safe for concurrent use; panics inside it
+	// are contained like any run panic.
+	Intercept func(job CampaignJob, run func() RunResult) RunResult
+}
+
+// CampaignJob is the canonical descriptor of one run of a campaign —
+// everything that determines the run's result, and nothing that
+// doesn't (worker counts and deadlines are execution policy). The
+// service layer hashes it (minus Seed, which keys separately) for the
+// content-addressed result cache.
+type CampaignJob struct {
+	Experiment string          `json:"experiment"`
+	Row        string          `json:"row"`
+	Size       units.ByteCount `json:"size"`
+	// Rep selects the repetition; with Periods set it also selects the
+	// time-of-day profile (rep mod len(pathmodel.AllPeriods)).
+	Rep       int   `json:"rep"`
+	Periods   bool  `json:"periods,omitempty"`
+	Sample    bool  `json:"sample,omitempty"`
+	SelfCheck bool  `json:"selfcheck,omitempty"`
+	Seed      int64 `json:"seed"`
 }
 
 func (o CampaignOpts) cancelled() bool {
@@ -205,39 +232,30 @@ func (o CampaignOpts) workers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// jobSeed derives the testbed seed for one (row, col, rep) run of a
-// campaign. The indices are packed into disjoint 21-bit fields and
-// passed through the sim.Splitmix64 bijection, so every job of every
-// grid up to 2^21 rows x columns x repetitions gets a distinct seed.
-// (The previous additive mix, Seed + row*1_000_003 + col*7919 +
-// rep*104729, collided whenever two index combinations hit the same
-// linear sum — e.g. 7919 reps ≡ one column step.)
-func jobSeed(campaign int64, row, col, rep int) int64 {
-	packed := uint64(row)<<42 | uint64(col)<<21 | uint64(rep)
-	return int64(sim.Splitmix64(sim.Splitmix64(uint64(campaign)) ^ packed))
-}
+// matrixSalt is the historical shuffle salt of the campaign runner;
+// it predates the engine and must never change (it is baked into the
+// golden fixtures' execution order).
+const matrixSalt = 0x5eed
 
 // matrixJob identifies one run: indices into the row, size, and
-// repetition axes. Its position in the shuffled job list is the job id
-// results are collected under.
+// repetition axes.
 type matrixJob struct {
 	row, col, rep int
 }
 
-// runMatrix executes the full grid. Mirroring §3.2, the order of all
-// (row, size, repetition) runs is randomized before execution; each
-// run gets an independent testbed seeded deterministically from the
-// campaign seed via jobSeed.
+// runMatrix executes the full grid on the generic sweep engine.
+// Mirroring §3.2, the order of all (row, size, repetition) runs is
+// randomized before execution; each run gets an independent testbed
+// seeded deterministically from the campaign seed via
+// sweep.Seed(seed, row, col, rep).
 //
-// With opts.Workers != 1 the shuffled job list is fanned out to a
-// goroutine pool. Workers never touch cells: each run's RunResult is
-// collected into a slice indexed by job id, and after the pool drains
-// the results are absorbed into cells in shuffled-list order — the
-// exact order the serial runner absorbs in — so every aggregate
-// (sample means, CCDFs, pooled RTT/OFO samples) is byte-identical to
-// the serial runner's for any worker count.
+// The engine supplies the worker pool, panic containment, and the
+// absorb-in-order contract: workers never touch cells — results fold
+// into cells in the fixed shuffled-list order the serial runner uses,
+// so every aggregate (sample means, CCDFs, pooled RTT/OFO samples) is
+// byte-identical for any worker count.
 func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts CampaignOpts) *Matrix {
-	m := &Matrix{ID: id, Title: title, Sizes: sizes, Workers: opts.workers()}
+	m := &Matrix{ID: id, Title: title, Sizes: sizes}
 	var jobs []matrixJob
 	for ri := range rows {
 		cells := make([]*Cell, len(sizes))
@@ -251,33 +269,18 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 		m.Rows = append(m.Rows, MatrixRow{Label: rows[ri].Label, Cells: cells})
 	}
 
-	order := sim.NewRNG(opts.Seed ^ 0x5eed)
-	order.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
-
-	start := time.Now()
-	var busy atomic.Int64
-
-	// runJob executes one job on the worker's private testbed, inside a
-	// containment boundary: a panic anywhere in the run becomes a
-	// failed-run result (one-line reason, no stack) instead of killing
-	// the worker and tearing down the campaign. It only reads the
-	// (frozen) rows, cells, and jobs slices, so any number of runJob
-	// calls may proceed concurrently as long as each has its own
-	// testbed slot.
-	//
-	// Each worker owns one *Testbed across its whole job stream: the
-	// first job builds it, later jobs Reset it in place (same simulator
-	// and pools, rebuilt topology). Runs are byte-identical either way,
-	// so exports stay invariant across worker counts and across the
-	// fresh-vs-reused boundary. After a contained panic the testbed is
-	// discarded — its mid-run state is arbitrary — and the next job
-	// starts fresh.
-	runJob := func(worker **Testbed, j matrixJob) RunResult {
-		t0 := time.Now()
+	// runJob executes one job on the worker's private testbed. Each
+	// worker owns one *Testbed across its whole job stream: the first
+	// job builds it, later jobs Reset it in place (same simulator and
+	// pools, rebuilt topology). Runs are byte-identical either way, so
+	// exports stay invariant across worker counts and across the
+	// fresh-vs-reused boundary. The engine discards the testbed after
+	// a contained panic — its mid-run state is arbitrary.
+	runJob := func(worker **Testbed, k int) RunResult {
+		j := jobs[k]
 		row := rows[j.row]
 		cell := m.Rows[j.row].Cells[j.col]
-		var res RunResult
-		if err := chaos.Contain(func() {
+		do := func() RunResult {
 			cfg := TestbedConfig{
 				WiFi:              row.WiFi,
 				Cell:              row.Cell,
@@ -286,7 +289,7 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 				UsePeriod:         opts.Periods,
 				Period:            pathmodel.AllPeriods[j.rep%len(pathmodel.AllPeriods)],
 				WarmRadio:         true,
-				Seed:              jobSeed(opts.Seed, j.row, j.col, j.rep),
+				Seed:              sweep.Seed(opts.Seed, j.row, j.col, j.rep),
 			}
 			if *worker == nil {
 				*worker = NewTestbed(cfg)
@@ -296,83 +299,46 @@ func runMatrix(id, title string, rows []RowSpec, sizes []units.ByteCount, opts C
 			if testMatrixHook != nil {
 				testMatrixHook(*worker)
 			}
-			res = (*worker).Run(cell.Config)
-		}); err != nil {
-			*worker = nil
-			res = RunResult{}
-			res.FailReason, _, _ = strings.Cut(err.Error(), "\n")
+			return (*worker).Run(cell.Config)
 		}
-		busy.Add(int64(time.Since(t0)))
-		return res
+		if opts.Intercept == nil {
+			return do()
+		}
+		return opts.Intercept(CampaignJob{
+			Experiment: id,
+			Row:        row.Label,
+			Size:       sizes[j.col],
+			Rep:        j.rep,
+			Periods:    opts.Periods,
+			Sample:     opts.SampleProfiles,
+			SelfCheck:  opts.SelfCheck,
+			Seed:       sweep.Seed(opts.Seed, j.row, j.col, j.rep),
+		}, do)
 	}
 
-	if m.Workers <= 1 {
-		// Legacy serial path: absorb each result as it lands, reusing
-		// one testbed across the whole campaign.
-		var tb *Testbed
-		for k, j := range jobs {
-			if opts.cancelled() {
-				break
-			}
-			res := runJob(&tb, j)
+	st := sweep.Run(sweep.Opts{
+		Seed:     opts.Seed,
+		Salt:     matrixSalt,
+		Workers:  opts.Workers,
+		Progress: opts.Progress,
+		Context:  opts.Context,
+	}, len(jobs), runJob,
+		func(k int, err error) RunResult {
+			var res RunResult
+			res.FailReason, _, _ = strings.Cut(err.Error(), "\n")
+			return res
+		},
+		func(k int, res RunResult) {
+			j := jobs[k]
 			m.TotalEvents += res.Events
 			m.absorbViolations(res)
 			m.Rows[j.row].Cells[j.col].absorb(res)
-			if opts.Progress != nil {
-				opts.Progress(k+1, len(jobs))
-			}
-		}
-	} else {
-		results := make([]RunResult, len(jobs))
-		executed := make([]bool, len(jobs))
-		var next atomic.Int64
-		next.Store(-1)
-		var (
-			wg         sync.WaitGroup
-			progressMu sync.Mutex
-			done       int
-		)
-		for w := 0; w < m.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var tb *Testbed
-				for {
-					if opts.cancelled() {
-						return
-					}
-					k := int(next.Add(1))
-					if k >= len(jobs) {
-						return
-					}
-					results[k] = runJob(&tb, jobs[k])
-					executed[k] = true
-					if opts.Progress != nil {
-						progressMu.Lock()
-						done++
-						opts.Progress(done, len(jobs))
-						progressMu.Unlock()
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		// Absorb in fixed job order, skipping runs cancellation left
-		// unexecuted — partial campaigns stay deterministic prefixes of
-		// what the absorbed jobs would have produced.
-		for k, j := range jobs {
-			if !executed[k] {
-				continue
-			}
-			m.TotalEvents += results[k].Events
-			m.absorbViolations(results[k])
-			m.Rows[j.row].Cells[j.col].absorb(results[k])
-		}
-	}
-	m.Cancelled = opts.cancelled()
+		})
 
-	m.BusyTime = time.Duration(busy.Load())
-	m.WallTime = time.Since(start)
+	m.Workers = st.Workers
+	m.Cancelled = st.Cancelled
+	m.BusyTime = st.BusyTime
+	m.WallTime = st.WallTime
 	return m
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"mptcplab/internal/sweep"
 	"mptcplab/internal/units"
 )
 
@@ -112,7 +113,7 @@ func TestJobSeedsDistinct(t *testing.T) {
 	for r := 0; r < rows; r++ {
 		for c := 0; c < cols; c++ {
 			for p := 0; p < reps; p++ {
-				s := jobSeed(1, r, c, p)
+				s := sweep.Seed(1, r, c, p)
 				if prev, dup := seen[s]; dup {
 					t.Fatalf("seed collision: (%d,%d,%d) and (%d,%d,%d) both map to %d",
 						r, c, p, prev.row, prev.col, prev.rep, s)
@@ -123,7 +124,7 @@ func TestJobSeedsDistinct(t *testing.T) {
 	}
 	// Different campaign seeds must decorrelate the whole grid, not
 	// just offset it.
-	if jobSeed(1, 0, 0, 0)-jobSeed(1, 0, 0, 1) == jobSeed(2, 0, 0, 0)-jobSeed(2, 0, 0, 1) {
+	if sweep.Seed(1, 0, 0, 0)-sweep.Seed(1, 0, 0, 1) == sweep.Seed(2, 0, 0, 0)-sweep.Seed(2, 0, 0, 1) {
 		t.Error("seed grids for campaigns 1 and 2 are linearly related")
 	}
 }

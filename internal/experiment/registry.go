@@ -1,0 +1,77 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mptcplab/internal/units"
+)
+
+// The campaign registry names every measurement campaign the repo can
+// run, so callers that receive a campaign name at runtime — the
+// mptcpd service layer, paperbench's -experiment flag — resolve it
+// through one table instead of each hard-coding the scenario list.
+// Names are the paper's figure identifiers; aliases map the companion
+// figure/table numbers onto the campaign that produces them.
+var campaignMakers = map[string]func(CampaignOpts) *Matrix{
+	"fig2": Baseline,
+	"fig4": SmallFlows,
+	"fig6": CoffeeShop,
+	"fig8": SimultaneousSYN,
+	"fig9": LargeFlows,
+	"fig11": func(opts CampaignOpts) *Matrix {
+		// The infinite-backlog study is far heavier per run than the
+		// rest of the matrix; cap repetitions like paperbench does.
+		if opts.reps() > 3 {
+			opts.Reps = 3
+		}
+		return Backlog(512*units.MB, opts)
+	},
+	"fig12":    LatencyDistribution,
+	"shootout": SchedulerShootout,
+	"mobility": Mobility,
+}
+
+var campaignAliases = map[string]string{
+	"fig3": "fig2", "table2": "fig2",
+	"fig5": "fig4", "table3": "fig4",
+	"fig7": "fig6", "table4": "fig6",
+	"fig10": "fig9", "table5": "fig9",
+	"fig13": "fig12", "table6": "fig12",
+	"sched": "shootout",
+}
+
+// CampaignNames lists the canonical campaign names, sorted.
+func CampaignNames() []string {
+	names := make([]string, 0, len(campaignMakers))
+	for name := range campaignMakers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ResolveCampaign canonicalizes a campaign name or alias; empty
+// string if unknown.
+func ResolveCampaign(name string) string {
+	name = strings.ToLower(strings.TrimSpace(name))
+	if canon, ok := campaignAliases[name]; ok {
+		return canon
+	}
+	if _, ok := campaignMakers[name]; ok {
+		return name
+	}
+	return ""
+}
+
+// NewCampaign runs the named campaign. The name is resolved through
+// the alias table, so "table3" runs the fig4/fig5 small-flows matrix.
+func NewCampaign(name string, opts CampaignOpts) (*Matrix, error) {
+	canon := ResolveCampaign(name)
+	if canon == "" {
+		return nil, fmt.Errorf("experiment: unknown campaign %q (have %s)",
+			name, strings.Join(CampaignNames(), ", "))
+	}
+	return campaignMakers[canon](opts), nil
+}

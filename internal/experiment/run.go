@@ -373,6 +373,24 @@ func (tb *Testbed) runMP(rc RunConfig, timeout sim.Time, ck *check.Checker) RunR
 	}
 	getter := web.NewGetter(web.MPTCPStream{Conn: conn})
 	tracked := tb.track(func() int64 { return getter.BytesReceived })
+	if tb.mon != nil {
+		// Per-path delivery-rate telemetry for the resilience report:
+		// sample the sender-side subflow RateEstimators (zero until
+		// the server accepts).
+		tb.mon.PathRates = func() (wifi, cell float64) {
+			if serverConn == nil {
+				return 0, 0
+			}
+			for _, sf := range serverConn.Subflows() {
+				if tb.IsCellIP(sf.EP.Remote) {
+					cell += sf.DeliveryRate()
+				} else {
+					wifi += sf.DeliveryRate()
+				}
+			}
+			return wifi, cell
+		}
+	}
 	var done sim.Time = -1
 	getter.Get(int(rc.Size), func() {
 		done = tb.Sim.Now()

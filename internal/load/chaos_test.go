@@ -56,6 +56,46 @@ func TestChaosRunProducesResilience(t *testing.T) {
 	}
 }
 
+// TestChaosPerPathTelemetry asserts fade recovery per path: while WiFi
+// flaps, the cell path keeps delivering through the fault windows, the
+// WiFi delivery rate collapses relative to steady state, and the WiFi
+// path earns recovery credits once the radio comes back.
+func TestChaosPerPathTelemetry(t *testing.T) {
+	res := Run(chaosConfig())
+	r := res.Resilience
+	if r == nil {
+		t.Fatal("chaos run produced no resilience report")
+	}
+	if r.WiFiFaultRate.N() == 0 || r.WiFiSteadyRate.N() == 0 ||
+		r.CellFaultRate.N() == 0 || r.CellSteadyRate.N() == 0 {
+		t.Fatal("per-path rate accumulators empty — PathRates not wired")
+	}
+	if r.CellFaultRate.Mean() <= 0 {
+		t.Fatalf("cell path delivered nothing through WiFi fault windows (mean %.0f B/s)",
+			r.CellFaultRate.Mean())
+	}
+	// Absolute rates are higher inside fault windows (they land
+	// mid-transfer; steady sampling includes the idle head and tail of
+	// the run), so the fade shows up in WiFi's *share* of delivery.
+	faultShare := r.WiFiFaultRate.Mean() / (r.WiFiFaultRate.Mean() + r.CellFaultRate.Mean())
+	steadyShare := r.WiFiSteadyRate.Mean() / (r.WiFiSteadyRate.Mean() + r.CellSteadyRate.Mean())
+	if faultShare >= steadyShare {
+		t.Fatalf("WiFi delivery share did not drop during its outages: fault %.3f, steady %.3f",
+			faultShare, steadyShare)
+	}
+	if n := r.WiFiPathTTR.N(); n == 0 {
+		t.Fatal("no WiFi recovery credited after any fault window")
+	}
+	if res.WiFiAckedBytes == 0 || res.CellAckedBytes == 0 {
+		t.Fatalf("per-path acked bytes missing: wifi=%d cell=%d",
+			res.WiFiAckedBytes, res.CellAckedBytes)
+	}
+	e := r.Export(res.ChaosSpec)
+	if e.CellFaultBps <= 0 || e.WiFiSteadyBps <= 0 {
+		t.Fatalf("export dropped per-path telemetry: %+v", e)
+	}
+}
+
 // TestChaosSweepWorkerInvariance is the PR's golden determinism
 // criterion: same seed + schedule, checker armed, serial vs 4 workers,
 // all four export writers byte-identical, zero violations.
@@ -149,7 +189,7 @@ func sabotage(t *testing.T, target int64, fn func(f *fleet)) {
 // single structured failed row; every other run completes normally.
 func TestSweepContainsPanickingRun(t *testing.T) {
 	opts := SweepOpts{Base: smokeConfig(), Reps: 3, Seed: 17, Workers: 2}
-	target := sweepSeed(opts.Seed, 0, 1)
+	target := opts.RunSeed(0, 1)
 	sabotage(t, target, func(f *fleet) { panic("injected fault") })
 
 	sw := RunSweep(opts)
@@ -193,7 +233,7 @@ func TestSweepContainsPanickingRun(t *testing.T) {
 // failed row, while the rest of the sweep completes.
 func TestSweepContainsLivelockedRun(t *testing.T) {
 	opts := SweepOpts{Base: smokeConfig(), Reps: 3, Seed: 23, Workers: 2}
-	target := sweepSeed(opts.Seed, 0, 2)
+	target := opts.RunSeed(0, 2)
 	sabotage(t, target, func(f *fleet) {
 		var spin func()
 		spin = func() { f.s.At(f.s.Now(), "spin", spin) }

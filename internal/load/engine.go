@@ -216,6 +216,7 @@ func runFleetIn(a *Arena, cfg Config) (*Result, *fleet) {
 
 	if !cfg.Chaos.Empty() {
 		f.mon = chaos.NewMonitor(s, cfg.Chaos)
+		f.mon.PathRates = f.pathRates
 		cfg.Chaos.Apply(s, chaos.Target{
 			WiFi:     []*netem.Link{topo.APUp, topo.APDown},
 			Cell:     []*netem.Link{topo.CellUp, topo.CellDown},
@@ -441,6 +442,29 @@ func (f *fleet) sortedActive() []*flow {
 		out[i] = f.active[id]
 	}
 	return out
+}
+
+// pathRates sums the live fleet's instantaneous per-subflow delivery
+// rates on each access path, from the server-side (sender)
+// connections' RateEstimators — the telemetry the chaos monitor
+// samples per tick. Flows are walked in id order: floating-point
+// addition is order-sensitive, and the report must stay a pure
+// function of the seed.
+func (f *fleet) pathRates() (wifi, cell float64) {
+	for _, fl := range f.sortedActive() {
+		c := fl.serverConn
+		if c == nil {
+			continue
+		}
+		for _, sf := range c.Subflows() {
+			if f.topo.IsCellIP(sf.EP.Remote) {
+				cell += sf.DeliveryRate()
+			} else {
+				wifi += sf.DeliveryRate()
+			}
+		}
+	}
+	return wifi, cell
 }
 
 // onPath reports whether an address belongs to the chaos path.

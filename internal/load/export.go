@@ -114,6 +114,14 @@ func exportRun(p SweepPoint, rep int, res *Result, token string) RunExport {
 	return e
 }
 
+// ExportOne flattens a single (point, rep) run — the row the service
+// layer caches individually. Export composes it over the whole grid.
+func ExportOne(base Config, p SweepPoint, rep int, res *Result) RunExport {
+	cfg := PointConfig(base, p)
+	cfg.Seed = res.Seed
+	return exportRun(p, rep, res, cfg.ReplayToken())
+}
+
 // Export flattens a sweep into one record per run, in grid order.
 func (sw *Sweep) Export(base Config) []RunExport {
 	var out []RunExport
@@ -122,19 +130,7 @@ func (sw *Sweep) Export(base Config) []RunExport {
 			if res == nil {
 				continue
 			}
-			cfg := base
-			if p.Rate > 0 {
-				cfg.Rate = p.Rate
-				cfg.Flows = 0
-			}
-			if p.Clients > 0 {
-				cfg.Clients = p.Clients
-			}
-			if p.Sched != "" {
-				cfg.Scheduler = p.Sched
-			}
-			cfg.Seed = res.Seed
-			out = append(out, exportRun(p, rep, res, cfg.ReplayToken()))
+			out = append(out, ExportOne(base, p, rep, res))
 		}
 	}
 	return out
@@ -142,9 +138,16 @@ func (sw *Sweep) Export(base Config) []RunExport {
 
 // WriteJSON emits the sweep as a JSON array of run records.
 func (sw *Sweep) WriteJSON(w io.Writer, base Config) error {
+	return WriteRunsJSON(w, sw.Export(base))
+}
+
+// WriteRunsJSON emits run records as a JSON array — the same bytes
+// Sweep.WriteJSON produces, for callers (the daemon) that assemble
+// rows from a cache instead of a completed Sweep.
+func WriteRunsJSON(w io.Writer, rows []RunExport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(sw.Export(base))
+	return enc.Encode(rows)
 }
 
 // csvHeader lists the exported columns, in order.
@@ -163,12 +166,18 @@ var csvHeader = []string{
 
 // WriteCSV emits the sweep as CSV with a header row.
 func (sw *Sweep) WriteCSV(w io.Writer, base Config) error {
+	return WriteRunsCSV(w, sw.Export(base))
+}
+
+// WriteRunsCSV emits run records as CSV with a header row — the same
+// bytes Sweep.WriteCSV produces.
+func WriteRunsCSV(w io.Writer, rows []RunExport) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
-	for _, e := range sw.Export(base) {
+	for _, e := range rows {
 		rec := []string{
 			f(e.Rate), strconv.Itoa(e.Clients), e.Sched, strconv.Itoa(e.Rep),
 			strconv.FormatInt(e.Seed, 10),
@@ -215,8 +224,40 @@ type ResilienceExport struct {
 
 	chaos.ReportExport
 
+	// Per-path delivered (cumulatively ACKed) bytes over the whole
+	// run, from the per-subflow RateEstimator telemetry — read
+	// alongside the report's per-path fault/steady delivery rates to
+	// assert fade recovery path by path.
+	WiFiAckedBytes int64 `json:"wifi_acked_bytes,omitempty"`
+	CellAckedBytes int64 `json:"cell_acked_bytes,omitempty"`
+
 	Violations int    `json:"violations"`
 	Replay     string `json:"replay"`
+}
+
+// ExportResilienceOne flattens a single run's resilience row; ok is
+// false when the run produced no row (no chaos report and no harness
+// failure).
+func ExportResilienceOne(base Config, p SweepPoint, rep int, res *Result) (ResilienceExport, bool) {
+	if res.Resilience == nil && !res.Failed {
+		return ResilienceExport{}, false
+	}
+	cfg := PointConfig(base, p)
+	cfg.Seed = res.Seed
+	e := ResilienceExport{
+		Rate: p.Rate, Clients: p.Clients, Rep: rep, Seed: res.Seed,
+		Failed: res.Failed, FailReason: res.FailReason,
+		WiFiAckedBytes: res.WiFiAckedBytes,
+		CellAckedBytes: res.CellAckedBytes,
+		Violations:     res.Violations,
+		Replay:         cfg.ReplayToken(),
+	}
+	if res.Resilience != nil {
+		e.ReportExport = res.Resilience.Export(res.ChaosSpec)
+	} else {
+		e.Schedule = res.ChaosSpec
+	}
+	return e, true
 }
 
 // ExportResilience flattens the sweep's resilience reports, one record
@@ -227,33 +268,12 @@ func (sw *Sweep) ExportResilience(base Config) []ResilienceExport {
 	var out []ResilienceExport
 	for _, p := range sw.Points {
 		for rep, res := range p.Runs {
-			if res == nil || (res.Resilience == nil && !res.Failed) {
+			if res == nil {
 				continue
 			}
-			cfg := base
-			if p.Rate > 0 {
-				cfg.Rate = p.Rate
-				cfg.Flows = 0
+			if e, ok := ExportResilienceOne(base, p, rep, res); ok {
+				out = append(out, e)
 			}
-			if p.Clients > 0 {
-				cfg.Clients = p.Clients
-			}
-			if p.Sched != "" {
-				cfg.Scheduler = p.Sched
-			}
-			cfg.Seed = res.Seed
-			e := ResilienceExport{
-				Rate: p.Rate, Clients: p.Clients, Rep: rep, Seed: res.Seed,
-				Failed: res.Failed, FailReason: res.FailReason,
-				Violations: res.Violations,
-				Replay:     cfg.ReplayToken(),
-			}
-			if res.Resilience != nil {
-				e.ReportExport = res.Resilience.Export(res.ChaosSpec)
-			} else {
-				e.Schedule = res.ChaosSpec
-			}
-			out = append(out, e)
 		}
 	}
 	return out
@@ -261,9 +281,14 @@ func (sw *Sweep) ExportResilience(base Config) []ResilienceExport {
 
 // WriteResilienceJSON emits the resilience rows as a JSON array.
 func (sw *Sweep) WriteResilienceJSON(w io.Writer, base Config) error {
+	return WriteResilienceRowsJSON(w, sw.ExportResilience(base))
+}
+
+// WriteResilienceRowsJSON emits resilience rows as a JSON array.
+func WriteResilienceRowsJSON(w io.Writer, rows []ResilienceExport) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(sw.ExportResilience(base))
+	return enc.Encode(rows)
 }
 
 // resCSVHeader lists the resilience columns, in order.
@@ -274,17 +299,25 @@ var resCSVHeader = []string{
 	"res_stall_s_mean", "res_recoveries", "res_unrecovered",
 	"res_ttr_s_mean", "res_ttr_s_max", "res_fault_bytes",
 	"res_steady_bytes", "res_fault_bps", "res_steady_bps",
+	"res_wifi_fault_bps", "res_wifi_steady_bps", "res_wifi_ttr_s",
+	"res_cell_fault_bps", "res_cell_steady_bps", "res_cell_ttr_s",
+	"wifi_acked_bytes", "cell_acked_bytes",
 	"res_retries", "res_timeouts", "res_graceful", "violations", "replay",
 }
 
 // WriteResilienceCSV emits the resilience rows as CSV with a header.
 func (sw *Sweep) WriteResilienceCSV(w io.Writer, base Config) error {
+	return WriteResilienceRowsCSV(w, sw.ExportResilience(base))
+}
+
+// WriteResilienceRowsCSV emits resilience rows as CSV with a header.
+func WriteResilienceRowsCSV(w io.Writer, rows []ResilienceExport) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(resCSVHeader); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
-	for _, e := range sw.ExportResilience(base) {
+	for _, e := range rows {
 		rec := []string{
 			f(e.Rate), strconv.Itoa(e.Clients), strconv.Itoa(e.Rep),
 			strconv.FormatInt(e.Seed, 10),
@@ -297,6 +330,9 @@ func (sw *Sweep) WriteResilienceCSV(w io.Writer, base Config) error {
 			f(e.TTRMeanS), f(e.TTRMaxS),
 			strconv.FormatInt(e.FaultBytes, 10), strconv.FormatInt(e.SteadyBytes, 10),
 			f(e.FaultBps), f(e.SteadyBps),
+			f(e.WiFiFaultBps), f(e.WiFiSteadyBps), f(e.WiFiTTRSec),
+			f(e.CellFaultBps), f(e.CellSteadyBps), f(e.CellTTRSec),
+			strconv.FormatInt(e.WiFiAckedBytes, 10), strconv.FormatInt(e.CellAckedBytes, 10),
 			strconv.Itoa(e.Retries), strconv.Itoa(e.Timeouts),
 			e.Graceful, strconv.Itoa(e.Violations), e.Replay,
 		}

@@ -6,13 +6,12 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"mptcplab/internal/chaos"
 	"mptcplab/internal/mptcp"
 	"mptcplab/internal/sim"
+	"mptcplab/internal/sweep"
 	"mptcplab/internal/units"
 )
 
@@ -104,157 +103,136 @@ type sweepJob struct {
 	point, rep int
 }
 
-// sweepSeed derives one run's seed from the campaign seed, exactly as
-// the experiment campaign runner does: indices packed into disjoint
-// bit fields through the Splitmix64 bijection.
-func sweepSeed(campaign int64, point, rep int) int64 {
-	packed := uint64(point)<<21 | uint64(rep)
-	return int64(sim.Splitmix64(sim.Splitmix64(uint64(campaign)) ^ packed))
-}
+// sweepSalt is the load sweep's historical shuffle salt; like the
+// experiment runner's it must never change, since it determines the
+// execution order equal seeds replay.
+const sweepSalt = 0x10ad
 
-// RunSweep executes the grid. Like the experiment campaign runner, the
-// job list is shuffled before execution, fanned out to a worker pool,
-// and absorbed into points in the fixed shuffled-list order — so every
-// aggregate and export is byte-identical for any worker count.
-func RunSweep(opts SweepOpts) *Sweep {
-	rates := opts.Rates
+// Grid materializes the sweep's grid points in canonical order —
+// rates outermost, then fleet sizes, then schedulers, exactly the
+// order exports walk — with Runs slices sized for o.Reps. The service
+// layer uses it to address individual (point, rep) runs without
+// executing the whole sweep; RunSweep builds its own grid the same
+// way.
+func (o SweepOpts) Grid() []SweepPoint {
+	rates := o.Rates
 	if len(rates) == 0 {
-		rates = []float64{opts.Base.Rate}
+		rates = []float64{o.Base.Rate}
 	}
-	fleets := opts.Clients
+	fleets := o.Clients
 	if len(fleets) == 0 {
-		fleets = []int{opts.Base.Clients}
+		fleets = []int{o.Base.Clients}
 	}
-	scheds := opts.Scheds
+	scheds := o.Scheds
 	if len(scheds) == 0 {
-		scheds = []string{opts.Base.Scheduler}
+		scheds = []string{o.Base.Scheduler}
 	}
-
-	sw := &Sweep{Workers: opts.workers()}
-	var jobs []sweepJob
+	var points []SweepPoint
 	for _, r := range rates {
 		for _, c := range fleets {
 			for _, sched := range scheds {
-				pi := len(sw.Points)
-				sw.Points = append(sw.Points, SweepPoint{
-					Rate: r, Clients: c, Sched: sched, Runs: make([]*Result, opts.reps()),
+				points = append(points, SweepPoint{
+					Rate: r, Clients: c, Sched: sched, Runs: make([]*Result, o.reps()),
 				})
-				for rep := 0; rep < opts.reps(); rep++ {
-					jobs = append(jobs, sweepJob{pi, rep})
-				}
 			}
 		}
 	}
+	return points
+}
 
-	order := sim.NewRNG(opts.Seed ^ 0x10ad)
-	order.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+// PointConfig specializes the base config to one grid point: the
+// point's axes override the base, and a rate axis clears any fixed
+// flow count. The per-run seed is not set here — callers derive it
+// with RunSeed.
+func PointConfig(base Config, p SweepPoint) Config {
+	cfg := base
+	if p.Rate > 0 {
+		cfg.Rate = p.Rate
+		cfg.Flows = 0 // rate axis overrides a fixed flow count
+	}
+	if p.Clients > 0 {
+		cfg.Clients = p.Clients
+	}
+	if p.Sched != "" {
+		cfg.Scheduler = p.Sched
+	}
+	return cfg
+}
 
-	start := time.Now()
-	var busy atomic.Int64
+// RunSeed derives the seed of one (point, rep) run of a sweep, the
+// same derivation RunSweep applies: disjoint 21-bit index fields
+// through the Splitmix64 bijection (see sweep.Seed).
+func (o SweepOpts) RunSeed(point, rep int) int64 {
+	return sweep.Seed(o.Seed, point, rep)
+}
 
-	// runJob executes one run inside a containment boundary: a panic
-	// anywhere in the stack becomes a structured failed-run row (with
-	// the run's seed and replay token still derivable) instead of
-	// killing the worker and tearing down the sweep. Each worker reuses
-	// one arena across its job stream (warm pools, byte-identical
-	// results); a contained panic leaves the arena mid-run, so it is
-	// discarded and the next job builds a fresh one.
-	runJob := func(worker **Arena, j sweepJob) *Result {
-		t0 := time.Now()
-		cfg := opts.Base
-		p := sw.Points[j.point]
-		if p.Rate > 0 {
-			cfg.Rate = p.Rate
-			cfg.Flows = 0 // rate axis overrides a fixed flow count
+// RunSweep executes the grid on the generic sweep engine. Like the
+// experiment campaign runner, the job list is shuffled before
+// execution, fanned out to a worker pool, and absorbed into points in
+// the fixed shuffled-list order — so every aggregate and export is
+// byte-identical for any worker count.
+func RunSweep(opts SweepOpts) *Sweep {
+	sw := &Sweep{Points: opts.Grid()}
+	var jobs []sweepJob
+	for pi := range sw.Points {
+		for rep := 0; rep < opts.reps(); rep++ {
+			jobs = append(jobs, sweepJob{pi, rep})
 		}
-		if p.Clients > 0 {
-			cfg.Clients = p.Clients
-		}
-		if p.Sched != "" {
-			cfg.Scheduler = p.Sched
-		}
-		cfg.Seed = sweepSeed(opts.Seed, j.point, j.rep)
+	}
+
+	// runJob executes one run on the worker's arena. Each worker
+	// reuses one arena across its job stream (warm pools,
+	// byte-identical results); after a contained panic the engine
+	// discards the arena — it was left mid-run — and the next job
+	// builds a fresh one.
+	runJob := func(worker **Arena, k int) *Result {
+		j := jobs[k]
+		cfg := PointConfig(opts.Base, sw.Points[j.point])
+		cfg.Seed = opts.RunSeed(j.point, j.rep)
 		if *worker == nil {
 			*worker = NewArena()
 		}
-		var res *Result
-		if err := chaos.Contain(func() { res = RunIn(*worker, cfg) }); err != nil {
-			*worker = nil
-			res = failedResult(cfg, err)
-		}
-		busy.Add(int64(time.Since(t0)))
-		return res
+		return RunIn(*worker, cfg)
 	}
 
-	absorb := func(j sweepJob, res *Result) {
-		if res == nil {
-			return // cancelled before this job ran
-		}
-		sw.Points[j.point].Runs[j.rep] = res
-		sw.TotalEvents += res.Events
-		sw.TotalViolations += res.Violations
-		if res.Failed {
-			sw.FailedRuns++
-		}
-		if sw.FirstViolation == "" {
-			sw.FirstViolation = res.FirstViolation
-		}
-	}
-
-	if sw.Workers <= 1 {
-		var arena *Arena
-		for k, j := range jobs {
-			if opts.cancelled() {
-				break
+	st := sweep.Run(sweep.Opts{
+		Seed:     opts.Seed,
+		Salt:     sweepSalt,
+		Workers:  opts.Workers,
+		Progress: opts.Progress,
+		Context:  opts.Context,
+	}, len(jobs), runJob,
+		func(k int, err error) *Result {
+			j := jobs[k]
+			cfg := PointConfig(opts.Base, sw.Points[j.point])
+			cfg.Seed = opts.RunSeed(j.point, j.rep)
+			return failedResult(cfg, err)
+		},
+		func(k int, res *Result) {
+			j := jobs[k]
+			sw.Points[j.point].Runs[j.rep] = res
+			sw.TotalEvents += res.Events
+			sw.TotalViolations += res.Violations
+			if res.Failed {
+				sw.FailedRuns++
 			}
-			absorb(j, runJob(&arena, j))
-			if opts.Progress != nil {
-				opts.Progress(k+1, len(jobs))
+			if sw.FirstViolation == "" {
+				sw.FirstViolation = res.FirstViolation
 			}
-		}
-	} else {
-		results := make([]*Result, len(jobs))
-		var next atomic.Int64
-		next.Store(-1)
-		var (
-			wg         sync.WaitGroup
-			progressMu sync.Mutex
-			done       int
-		)
-		for w := 0; w < sw.Workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				var arena *Arena
-				for {
-					if opts.cancelled() {
-						return
-					}
-					k := int(next.Add(1))
-					if k >= len(jobs) {
-						return
-					}
-					results[k] = runJob(&arena, jobs[k])
-					if opts.Progress != nil {
-						progressMu.Lock()
-						done++
-						opts.Progress(done, len(jobs))
-						progressMu.Unlock()
-					}
-				}
-			}()
-		}
-		wg.Wait()
-		for k, j := range jobs {
-			absorb(j, results[k])
-		}
-	}
-	sw.Cancelled = opts.cancelled()
+		})
 
-	sw.BusyTime = time.Duration(busy.Load())
-	sw.WallTime = time.Since(start)
+	sw.Workers = st.Workers
+	sw.Cancelled = st.Cancelled
+	sw.BusyTime = st.BusyTime
+	sw.WallTime = st.WallTime
 	return sw
 }
+
+// FailedRun builds the structured Result row for a contained run
+// failure — exported for harnesses that drive grid points on the
+// sweep engine themselves (the mptcpd service layer) and need
+// failures shaped exactly as RunSweep shapes them.
+func FailedRun(cfg Config, err error) *Result { return failedResult(cfg, err) }
 
 // failedResult builds the structured row for a contained run failure.
 // Only the first line of the error is kept: panic stacks carry

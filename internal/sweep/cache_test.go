@@ -1,0 +1,97 @@
+package sweep
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// Canonical config-hash stability: the same logical spec must produce
+// the same key regardless of struct field declaration order, and
+// regardless of whether it arrives as a struct or a map.
+func TestKeyFieldOrderStability(t *testing.T) {
+	type specAB struct {
+		Clients int     `json:"clients"`
+		Rate    float64 `json:"rate"`
+		Sched   string  `json:"sched"`
+	}
+	type specBA struct {
+		Sched   string  `json:"sched"`
+		Rate    float64 `json:"rate"`
+		Clients int     `json:"clients"`
+	}
+	a, err := Key(specAB{Clients: 40, Rate: 2.5, Sched: "minrtt"}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Key(specBA{Sched: "minrtt", Rate: 2.5, Clients: 40}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Key(map[string]any{"sched": "minrtt", "clients": 40, "rate": 2.5}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b || a != m {
+		t.Fatalf("keys diverge for one logical spec:\n struct AB %s\n struct BA %s\n map       %s", a, b, m)
+	}
+}
+
+// Process stability: the key is a pure function of the canonical JSON
+// bytes, pinned here against a hand-written canonical encoding — no
+// map iteration order, pointer value, or per-process state may leak
+// into it.
+func TestKeyPinnedAcrossProcesses(t *testing.T) {
+	got, err := Key(map[string]any{"b": "x", "a": 1}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("%x:7", sha256.Sum256([]byte(`{"a":1,"b":"x"}`)))
+	if got != want {
+		t.Fatalf("Key = %s, want pinned %s", got, want)
+	}
+}
+
+// Distinct seeds never collide — the seed rides outside the hash, so
+// this holds structurally, and distinct configs get distinct hashes.
+func TestKeyDistinctness(t *testing.T) {
+	desc := map[string]any{"clients": 40}
+	seen := map[string]bool{}
+	for seed := int64(-500); seed < 500; seed++ {
+		k, err := Key(desc, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[k] {
+			t.Fatalf("seed %d reused key %s", seed, k)
+		}
+		seen[k] = true
+		if !strings.HasSuffix(k, fmt.Sprintf(":%d", seed)) {
+			t.Fatalf("key %s does not carry seed %d outside the hash", k, seed)
+		}
+	}
+	k1, _ := Key(map[string]any{"clients": 40}, 1)
+	k2, _ := Key(map[string]any{"clients": 41}, 1)
+	if k1 == k2 {
+		t.Fatal("distinct configs share a key")
+	}
+}
+
+func TestCacheHitMissAccounting(t *testing.T) {
+	c := NewCache()
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("empty cache returned a hit")
+	}
+	val := []byte("row")
+	c.Put("k", val)
+	val[0] = 'X' // Put must have copied
+	got, ok := c.Get("k")
+	if !ok || string(got) != "row" {
+		t.Fatalf("Get = %q, %v; want cached copy \"row\"", got, ok)
+	}
+	entries, hits, misses := c.Stats()
+	if entries != 1 || hits != 1 || misses != 1 {
+		t.Fatalf("Stats = (%d, %d, %d), want (1, 1, 1)", entries, hits, misses)
+	}
+}

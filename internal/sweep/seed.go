@@ -1,0 +1,22 @@
+package sweep
+
+import "mptcplab/internal/sim"
+
+// Seed derives one job's seed from the campaign seed and the job's
+// grid indices. The indices are packed into disjoint 21-bit fields
+// (most-significant first) and the packed word is passed through the
+// sim.Splitmix64 bijection, so every job of every grid up to 2^21 per
+// axis gets a distinct seed, and distinct campaign seeds never share
+// a job seed with each other's grids.
+//
+// This is the one implementation of the mix the experiment matrix
+// (Seed(c, row, col, rep)) and the load sweep (Seed(c, point, rep))
+// previously each carried privately; the fold below reproduces both
+// packings bit-for-bit, which the legacy-equivalence test pins.
+func Seed(campaign int64, idx ...int) int64 {
+	var packed uint64
+	for _, i := range idx {
+		packed = packed<<21 | uint64(i)
+	}
+	return int64(sim.Splitmix64(sim.Splitmix64(uint64(campaign)) ^ packed))
+}
