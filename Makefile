@@ -47,6 +47,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzSegDecode$$' -fuzztime $(FUZZTIME) ./internal/seg/
 	$(GO) test -run '^$$' -fuzz '^FuzzReorderInsert$$' -fuzztime $(FUZZTIME) ./internal/mptcp/
 	$(GO) test -run '^$$' -fuzz '^FuzzTimerWheel$$' -fuzztime $(FUZZTIME) ./internal/sim/
+	$(GO) test -run '^$$' -fuzz '^FuzzStoreOpen$$' -fuzztime $(FUZZTIME) ./internal/sweep/
 	for s in $(FUZZ_SCHEDS); do \
 		$(GO) run ./cmd/mptcpfuzz -n 200 -seed 1 -sched $$s || exit 1; \
 	done
@@ -108,10 +109,16 @@ chaos-smoke:
 # to running paperbench / mptcpload's writers directly, (2) the second
 # submission of each is answered 100% from the content-addressed
 # cache, and (3) cancellation mid-campaign still exports the completed
-# prefix. The assertions live in cmd/mptcpd's TestServe* suite.
+# prefix. The durability suite rides in the same pattern: SIGKILL the
+# daemon mid-campaign at an injected sync point, restart over the same
+# store+journal, and require the resumed campaign to replay its
+# completed prefix as store hits with exports byte-identical to an
+# uninterrupted run — plus corrupted-segment, garbage-journal, and
+# degraded-disk recovery. The assertions live in cmd/mptcpd's
+# TestServe* suite.
 serve-smoke:
 	$(GO) test -count=1 -timeout 5m -run '^TestServe' -v ./cmd/mptcpd/
-	@echo "serve-smoke: daemon artifacts byte-identical to direct runners; repeat submissions 100% cache hits"
+	@echo "serve-smoke: daemon artifacts byte-identical to direct runners; repeat submissions 100% cache hits; kill/restart resumes byte-identically"
 
 # cover enforces the statement-coverage floor (baseline 72.7% when the
 # gate landed; the floor leaves a little slack for counter drift).

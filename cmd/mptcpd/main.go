@@ -6,16 +6,27 @@
 // runs are pure functions of (canonical config, seed), so caching is
 // sound by construction.
 //
-//	mptcpd -addr :8080
+//	mptcpd -addr :8080 -store /var/lib/mptcpd
 //	curl -s localhost:8080/v1/campaigns -d '{"experiment":"fig8","reps":2,"seed":42}'
 //	curl -s localhost:8080/v1/campaigns/c1
 //	curl -s localhost:8080/v1/campaigns/c1/rows
 //	curl -s localhost:8080/v1/campaigns/c1/export.csv
 //	curl -s 'localhost:8080/v1/replay?token=clients=20,rate=3,...'
+//	curl -s localhost:8080/healthz
+//
+// With -store, results persist in a segmented checksummed log and
+// submissions are journaled before acceptance: kill -9 the daemon
+// mid-campaign and the restarted daemon resumes the interrupted
+// campaign, replaying completed rows from the store (cache hits) and
+// recomputing only the missing suffix — exports are byte-identical to
+// an uninterrupted run. Corrupt store records are skipped with a
+// counted warning; disk write failures degrade to memory-only, both
+// surfaced on /healthz.
 //
 // SIGINT/SIGTERM drains in-flight workers: the running campaign stops
 // claiming new runs, its completed rows are exported with the
-// campaign marked cancelled, and the listener shuts down gracefully.
+// campaign marked cancelled (a deliberate terminal state — drained
+// campaigns are not resumed), and the listener shuts down gracefully.
 package main
 
 import (
@@ -26,19 +37,78 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
+
+	"mptcplab/internal/sweep"
 )
+
+// openDurable wires a -store directory into a server config: the
+// disk-backed result store under <dir>/results, the campaign journal
+// under <dir>/journal, and the journal's incomplete entries queued
+// for resume. Shared by main and the crash-recovery test helper.
+func openDurable(dir string, cfg serverConfig) (serverConfig, error) {
+	st, err := sweep.OpenStore(filepath.Join(dir, "results"), sweep.StoreOpts{})
+	if err != nil {
+		return cfg, err
+	}
+	j, incomplete, maxID, err := openJournal(filepath.Join(dir, "journal"))
+	if err != nil {
+		st.Close()
+		return cfg, err
+	}
+	cfg.store = st
+	cfg.diskStore = st
+	cfg.journal = j
+	cfg.resume = incomplete
+	cfg.startID = maxID
+	return cfg, nil
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	storeDir := flag.String("store", "", "durable state directory: disk-backed result store + campaign journal with crash recovery (empty = in-memory only)")
+	queueDepth := flag.Int("queue-depth", 128, "campaign queue capacity; submissions beyond it get 503 + Retry-After")
+	followMax := flag.Duration("follow-max", 10*time.Minute, "maximum lifetime of one /rows follower connection")
 	flag.Parse()
+
+	// Flag typos die at parse time with a one-line error, before any
+	// state is touched — same contract as the other binaries.
+	if *queueDepth < 1 {
+		exitOn(fmt.Errorf("-queue-depth %d: must be at least 1", *queueDepth))
+	}
+	if *followMax <= 0 {
+		exitOn(fmt.Errorf("-follow-max %s: must be positive", *followMax))
+	}
 
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
-	s := newServer(ctx)
-	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+	cfg := serverConfig{queueDepth: *queueDepth, followMax: *followMax}
+	if *storeDir != "" {
+		var err error
+		cfg, err = openDurable(*storeDir, cfg)
+		exitOn(err)
+		h := cfg.diskStore.Health()
+		fmt.Fprintf(os.Stderr, "mptcpd: store %s: %d entries from %d segments (%d corrupt records skipped)\n",
+			h.Dir, h.Entries, h.Segments, h.CorruptRecords)
+		if n := len(cfg.resume); n > 0 {
+			fmt.Fprintf(os.Stderr, "mptcpd: resuming %d interrupted campaign(s) from the journal\n", n)
+		}
+	}
+
+	s := newServer(ctx, cfg)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.routes(),
+		// Edge hardening: slow-loris headers and idle keep-alives are
+		// bounded. No global write timeout — /rows is a long-lived
+		// follower with its own per-write deadlines and lifetime cap.
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 
 	errc := make(chan error, 1)
 	go func() {
@@ -49,8 +119,7 @@ func main() {
 	select {
 	case err := <-errc:
 		if err != nil && !errors.Is(err, http.ErrServerClosed) {
-			fmt.Fprintln(os.Stderr, "mptcpd:", err)
-			os.Exit(1)
+			exitOn(err)
 		}
 	case <-ctx.Done():
 		fmt.Fprintln(os.Stderr, "mptcpd: draining (signal received)")
@@ -60,8 +129,14 @@ func main() {
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(shutdownCtx); err != nil {
-			fmt.Fprintln(os.Stderr, "mptcpd:", err)
-			os.Exit(1)
+			exitOn(err)
 		}
+	}
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mptcpd:", err)
+		os.Exit(1)
 	}
 }

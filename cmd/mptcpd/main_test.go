@@ -9,20 +9,29 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
+	"os/exec"
 	"strings"
 	"testing"
 	"time"
 
 	"mptcplab/internal/experiment"
 	"mptcplab/internal/load"
+	"mptcplab/internal/sweep/client"
 )
 
 // newTestServer boots the daemon on a random port (httptest) with a
-// fresh cache, exactly as `make serve-smoke` exercises it.
-func newTestServer(t *testing.T) *httptest.Server {
+// fresh cache, exactly as `make serve-smoke` exercises it. An
+// optional serverConfig swaps in a disk store, a journal, or the
+// fault-injection knobs.
+func newTestServer(t *testing.T, cfg ...serverConfig) *httptest.Server {
 	t.Helper()
+	var c serverConfig
+	if len(cfg) > 0 {
+		c = cfg[0]
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	ts := httptest.NewServer(newServer(ctx).routes())
+	ts := httptest.NewServer(newServer(ctx, c).routes())
 	t.Cleanup(func() { cancel(); ts.Close() })
 	return ts
 }
@@ -275,6 +284,99 @@ func TestServeCancelDrains(t *testing.T) {
 	lines := bytes.Split(bytes.TrimSpace(csv), []byte("\n"))
 	if got := len(lines) - 1; got != st.Done {
 		t.Fatalf("partial export has %d rows, want the %d completed runs", got, st.Done)
+	}
+}
+
+// TestServeQueueFullRetryAfter: with the queue at capacity the daemon
+// answers 503 with a Retry-After header, and a client following the
+// header lands the submission once the queue drains. The run loop is
+// left unstarted so "full" is deterministic, then started manually.
+func TestServeQueueFullRetryAfter(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s := newServer(ctx, serverConfig{queueDepth: 1, noRunLoop: true})
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+
+	spec := `{"experiment":"fig8","reps":1,"seed":1,"workers":1}`
+	submit(t, ts, spec) // fills the 1-deep queue
+	resp, err := http.Post(ts.URL+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("full queue answered %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("queue-full 503 carries no Retry-After header")
+	}
+	// A rejected submission leaves no state behind.
+	if st := getStatus(t, ts, "c2"); st.ID != "" {
+		t.Fatalf("rejected submission left campaign state %+v", st)
+	}
+
+	// The retrying client helper rides the 503 out: start the run
+	// loop (the queue drains) and the same submit goes through.
+	go s.runLoop()
+	cl := client.New(ts.URL, client.Options{
+		BaseDelay: 20 * time.Millisecond, MaxDelay: 100 * time.Millisecond, MaxAttempts: 50,
+	})
+	st, err := cl.Submit(context.Background(), json.RawMessage(spec))
+	if err != nil {
+		t.Fatalf("retrying submit never landed: %v", err)
+	}
+	if _, err := cl.WaitTerminal(context.Background(), st.ID, 25*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeRowsFollowerBounded: a /rows follower of a campaign that
+// never finishes is cut off at the configured lifetime instead of
+// holding its handler goroutine forever.
+func TestServeRowsFollowerBounded(t *testing.T) {
+	ts := newTestServer(t, serverConfig{noRunLoop: true, followMax: 150 * time.Millisecond})
+	c := submit(t, ts, `{"experiment":"fig8","reps":1,"seed":1}`)
+	start := time.Now()
+	body := getBytes(t, ts, "/v1/campaigns/"+c.ID+"/rows")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("follower of a never-finishing campaign held on for %v", elapsed)
+	}
+	if len(bytes.TrimSpace(body)) != 0 {
+		t.Fatalf("queued campaign streamed rows: %q", body)
+	}
+}
+
+// TestRejectsBadQueueDepth re-executes the test binary as mptcpd with
+// -queue-depth 0 and proves it dies at flag-parse time: exit code 1,
+// a one-line error, no listener, no panic — matching the other
+// binaries' validation contract.
+func TestRejectsBadQueueDepth(t *testing.T) {
+	if os.Getenv("MPTCPD_RUN_MAIN") == "1" {
+		os.Args = []string{"mptcpd", "-queue-depth", "0"}
+		main()
+		return
+	}
+	cmd := exec.Command(os.Args[0], "-test.run=^TestRejectsBadQueueDepth$")
+	cmd.Env = append(os.Environ(), "MPTCPD_RUN_MAIN=1")
+	out, err := cmd.CombinedOutput()
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("want the child to exit non-zero, got err=%v; output:\n%s", err, out)
+	}
+	if code := ee.ExitCode(); code != 1 {
+		t.Fatalf("exit code %d, want 1; output:\n%s", code, out)
+	}
+	text := strings.TrimSpace(string(out))
+	if strings.Contains(text, "panic") {
+		t.Fatalf("queue-depth validation panicked:\n%s", out)
+	}
+	if strings.Count(text, "\n") != 0 {
+		t.Errorf("want a one-line error, got:\n%s", out)
+	}
+	if !strings.Contains(text, "-queue-depth") {
+		t.Errorf("error line %q should name the bad flag", text)
 	}
 }
 

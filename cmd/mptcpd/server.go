@@ -6,8 +6,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"syscall"
 	"time"
 
 	"mptcplab/internal/chaos"
@@ -78,13 +81,24 @@ type experimentRow struct {
 }
 
 type campaignState struct {
-	id   string
-	spec campaignSpec
-	name string // canonical experiment name ("" for load campaigns)
+	id      string
+	spec    campaignSpec
+	name    string // canonical experiment name ("" for load campaigns)
+	resumed bool   // recovered from the journal after a restart
 
 	ctx      context.Context
 	cancel   context.CancelFunc
 	finished chan struct{}
+	// journaled, when non-nil, gates execution: the run loop holds the
+	// campaign until its journal record is durably on disk, so a crash
+	// can never have computed rows for a submission it has no record
+	// of. Resumed campaigns (already journaled) leave it nil.
+	journaled chan struct{}
+
+	// onRow, when set, fires after each appended progress row — the
+	// injected sync point the crash-recovery fault suite kills the
+	// process at.
+	onRow func()
 
 	mu           sync.Mutex
 	state        string
@@ -133,6 +147,9 @@ func (c *campaignState) appendRow(v any) {
 	c.mu.Lock()
 	c.rows = append(c.rows, b)
 	c.mu.Unlock()
+	if c.onRow != nil {
+		c.onRow()
+	}
 }
 
 func (c *campaignState) setExports(exp map[string][]byte) {
@@ -160,6 +177,7 @@ type statusView struct {
 	CacheHits   int64  `json:"cache_hits"`
 	CacheMisses int64  `json:"cache_misses"`
 	Rows        int    `json:"rows"`
+	Resumed     bool   `json:"resumed,omitempty"`
 	Error       string `json:"error,omitempty"`
 }
 
@@ -170,14 +188,48 @@ func (c *campaignState) status() statusView {
 		ID: c.id, Kind: c.spec.Kind, Name: c.name, State: c.state,
 		Done: c.done, Total: c.total,
 		CacheHits: c.hits, CacheMisses: c.misses,
-		Rows: len(c.rows), Error: c.errMsg,
+		Rows: len(c.rows), Resumed: c.resumed, Error: c.errMsg,
 	}
 }
 
+// serverConfig assembles a daemon: which result backend, whether
+// submissions are journaled for crash recovery, and the HTTP-edge
+// limits. The zero value is the historical in-memory daemon.
+type serverConfig struct {
+	// store is the result backend (nil = fresh in-memory sweep.Cache).
+	store sweep.ResultStore
+	// diskStore, when the backend is disk-backed, exposes its
+	// durability health on /healthz.
+	diskStore *sweep.Store
+	// journal, when non-nil, records submissions before acceptance
+	// and terminal states after; resume holds the incomplete entries
+	// it recovered, re-enqueued at construction in submission order.
+	journal *journal
+	resume  []journalEntry
+	// startID seeds the id sequence past every journaled id.
+	startID int
+	// queueDepth caps queued campaigns (0 = 128); beyond it submits
+	// get 503 + Retry-After.
+	queueDepth int
+	// followMax bounds a /rows follower's lifetime (0 = 10m).
+	followMax time.Duration
+	// crashAfter > 0 arms the fault-injection sync point: once that
+	// many progress rows have been appended across all campaigns,
+	// crashFn runs (default: SIGKILL our own process).
+	crashAfter int
+	crashFn    func()
+	// noRunLoop leaves the queue undrained — tests that need
+	// campaigns to stay deterministically queued.
+	noRunLoop bool
+}
+
 type server struct {
-	ctx   context.Context
-	cache *sweep.Cache
-	queue chan *campaignState
+	ctx     context.Context
+	cache   sweep.ResultStore
+	cfg     serverConfig
+	journal *journal
+	queue   chan *campaignState
+	rowSeen atomic.Int64 // crash sync-point counter
 
 	mu        sync.Mutex
 	campaigns map[string]*campaignState
@@ -185,19 +237,83 @@ type server struct {
 	nextID    int
 }
 
-func newServer(ctx context.Context) *server {
+func newServer(ctx context.Context, cfg serverConfig) *server {
+	if cfg.store == nil {
+		cfg.store = sweep.NewCache()
+	}
+	if cfg.queueDepth <= 0 {
+		cfg.queueDepth = 128
+	}
+	if cfg.followMax <= 0 {
+		cfg.followMax = 10 * time.Minute
+	}
+	if cfg.crashFn == nil {
+		cfg.crashFn = func() { syscall.Kill(os.Getpid(), syscall.SIGKILL) }
+	}
+	// The journal backlog must fit the queue, or recovery would lose
+	// campaigns a crash already accepted.
+	depth := cfg.queueDepth
+	if len(cfg.resume) > depth {
+		depth = len(cfg.resume)
+	}
 	s := &server{
 		ctx:       ctx,
-		cache:     sweep.NewCache(),
-		queue:     make(chan *campaignState, 128),
+		cache:     cfg.store,
+		cfg:       cfg,
+		journal:   cfg.journal,
+		queue:     make(chan *campaignState, depth),
 		campaigns: map[string]*campaignState{},
+		nextID:    cfg.startID,
 	}
-	go s.runLoop()
+	for _, e := range cfg.resume {
+		s.resumeCampaign(e)
+	}
+	if !cfg.noRunLoop {
+		go s.runLoop()
+	}
 	return s
+}
+
+// resumeCampaign re-enqueues one journaled-but-unfinished submission.
+// Replayed rows come out of the result store as cache hits, so the
+// resumed campaign recomputes only the suffix the crash interrupted
+// and exports byte-identically to an uninterrupted run.
+func (s *server) resumeCampaign(e journalEntry) {
+	spec := e.Spec
+	name, err := validateSpec(&spec)
+	ctx, cancel := context.WithCancel(s.ctx)
+	c := &campaignState{
+		id: e.ID, spec: spec, name: name, resumed: true, state: stateQueued,
+		ctx: ctx, cancel: cancel, finished: make(chan struct{}),
+		onRow: s.rowSyncPoint,
+	}
+	s.campaigns[c.id] = c
+	s.order = append(s.order, c.id)
+	if err != nil {
+		// The spec no longer validates (registry drift across the
+		// restart): surface it as a failed campaign, not a dead daemon.
+		c.state = stateFailed
+		c.errMsg = fmt.Sprintf("resume: %v", err)
+		close(c.finished)
+		s.journal.finish(c.id, stateFailed)
+		return
+	}
+	s.queue <- c // capacity ≥ len(resume) by construction
+}
+
+// rowSyncPoint is the fault-injection hook: every appended progress
+// row ticks a daemon-wide counter, and crossing cfg.crashAfter kills
+// the process mid-campaign — deterministically, for the recovery
+// suite.
+func (s *server) rowSyncPoint() {
+	if s.cfg.crashAfter > 0 && s.rowSeen.Add(1) == int64(s.cfg.crashAfter) {
+		s.cfg.crashFn()
+	}
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("POST /v1/campaigns", s.handleSubmit)
 	mux.HandleFunc("GET /v1/campaigns", s.handleList)
@@ -230,6 +346,9 @@ func (s *server) runLoop() {
 
 func (s *server) runCampaign(c *campaignState) {
 	defer close(c.finished)
+	if c.journaled != nil {
+		<-c.journaled
+	}
 	c.setState(stateRunning)
 	var err error
 	contained := chaos.Contain(func() {
@@ -250,6 +369,7 @@ func (s *server) runCampaign(c *campaignState) {
 	default:
 		c.setState(stateDone)
 	}
+	s.journal.finish(c.id, c.status().State)
 }
 
 // experimentKey is the content address of one campaign run: the job
@@ -272,7 +392,7 @@ func (s *server) experimentIntercept(c *campaignState) func(experiment.CampaignJ
 	return func(job experiment.CampaignJob, run func() experiment.RunResult) experiment.RunResult {
 		key, kerr := experimentKey(job)
 		if kerr == nil {
-			if b, ok := s.cache.Get(key); ok {
+			if b, ok := s.cache.GetRef(key); ok {
 				var res experiment.RunResult
 				if err := json.Unmarshal(b, &res); err == nil {
 					c.note(true)
@@ -399,7 +519,7 @@ func (s *server) runLoad(c *campaignState) error {
 			cfg := cfgFor(k)
 			key, kerr := loadKey(cfg)
 			if kerr == nil {
-				if b, ok := s.cache.Get(key); ok {
+				if b, ok := s.cache.GetRef(key); ok {
 					var row loadRow
 					if json.Unmarshal(b, &row) == nil {
 						// The rep label is positional, not part of the
@@ -533,6 +653,8 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	c := &campaignState{
 		spec: spec, name: name, state: stateQueued,
 		ctx: ctx, cancel: cancel, finished: make(chan struct{}),
+		journaled: make(chan struct{}),
+		onRow:     s.rowSyncPoint,
 	}
 	s.mu.Lock()
 	s.nextID++
@@ -548,12 +670,63 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		delete(s.campaigns, c.id)
 		s.order = s.order[:len(s.order)-1]
 		s.mu.Unlock()
+		// Nothing was journaled, so a rejected submission leaves no
+		// state to resurrect. Retry-After tells a well-behaved client
+		// (internal/sweep/client) when to re-ask.
+		w.Header().Set("Retry-After", "5")
 		httpError(w, http.StatusServiceUnavailable, "campaign queue full")
 		return
 	}
+	// Journal before acknowledging: once the client sees 201, a crash
+	// cannot forfeit the submission. (A crash in the gap before this
+	// write loses only a campaign nobody was told was accepted — and
+	// the run loop is gated on c.journaled, so that lost campaign has
+	// provably computed nothing either.)
+	s.journal.record(journalEntry{ID: c.id, Name: name, Spec: spec})
+	close(c.journaled)
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusCreated)
 	writeJSON(w, c.status())
+}
+
+// handleHealthz reports the durability surface: result-store health
+// (segments, corrupt-record count, degraded mode), journal health
+// (skipped garbage, write failures), and queue pressure. "degraded"
+// means the daemon still serves but something durable is running
+// memory-only.
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	entries, hits, misses := s.cache.Stats()
+	view := struct {
+		Status       string             `json:"status"`
+		QueueLen     int                `json:"queue_len"`
+		QueueCap     int                `json:"queue_cap"`
+		Campaigns    int                `json:"campaigns"`
+		CacheEntries int                `json:"cache_entries"`
+		CacheHits    int64              `json:"cache_hits"`
+		CacheMisses  int64              `json:"cache_misses"`
+		Store        *sweep.StoreHealth `json:"store,omitempty"`
+		Journal      *journalHealth     `json:"journal,omitempty"`
+	}{
+		Status: "ok", QueueLen: len(s.queue), QueueCap: cap(s.queue),
+		CacheEntries: entries, CacheHits: hits, CacheMisses: misses,
+	}
+	s.mu.Lock()
+	view.Campaigns = len(s.campaigns)
+	s.mu.Unlock()
+	if s.cfg.diskStore != nil {
+		h := s.cfg.diskStore.Health()
+		view.Store = &h
+		if h.Degraded {
+			view.Status = "degraded"
+		}
+	}
+	if jh := s.journal.health(); jh != nil {
+		view.Journal = jh
+		if jh.Degraded {
+			view.Status = "degraded"
+		}
+	}
+	writeJSON(w, view)
 }
 
 func (s *server) lookup(w http.ResponseWriter, r *http.Request) *campaignState {
@@ -606,7 +779,11 @@ func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
 // handleRows streams the campaign's per-run rows as NDJSON. Rows
 // arrive in completion order (the progress feed); the deterministic
 // artifacts are the export endpoints. The stream follows a running
-// campaign until it reaches a terminal state.
+// campaign until it reaches a terminal state — but never forever: a
+// follower's lifetime is capped at cfg.followMax, each write carries
+// a deadline so a stalled client errors the connection instead of
+// pinning a handler goroutine, and client disconnect (request context)
+// ends the stream between writes.
 func (s *server) handleRows(w http.ResponseWriter, r *http.Request) {
 	c := s.lookup(w, r)
 	if c == nil {
@@ -614,14 +791,22 @@ func (s *server) handleRows(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
+	ctl := http.NewResponseController(w)
+	expiry := time.NewTimer(s.cfg.followMax)
+	defer expiry.Stop()
 	sent := 0
 	for {
 		c.mu.Lock()
 		pending := c.rows[sent:]
 		terminal := c.terminal()
 		c.mu.Unlock()
+		// A dead client surfaces as a write error (under its own
+		// deadline), which ends the follower.
+		ctl.SetWriteDeadline(time.Now().Add(30 * time.Second))
 		for _, row := range pending {
-			w.Write(row)
+			if _, err := w.Write(row); err != nil {
+				return
+			}
 			w.Write([]byte("\n"))
 			sent++
 		}
@@ -633,6 +818,10 @@ func (s *server) handleRows(w http.ResponseWriter, r *http.Request) {
 		}
 		select {
 		case <-r.Context().Done():
+			return
+		case <-expiry.C:
+			// Bounded lifetime: the client re-issues the request and
+			// picks up from the full feed (rows are cumulative).
 			return
 		case <-c.finished:
 		case <-time.After(150 * time.Millisecond):
@@ -688,7 +877,7 @@ func (s *server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	}
 	key, kerr := loadKey(cfg)
 	if kerr == nil {
-		if b, ok := s.cache.Get(key); ok {
+		if b, ok := s.cache.GetRef(key); ok {
 			var row loadRow
 			if json.Unmarshal(b, &row) == nil {
 				writeJSON(w, replayView{Cached: true, Run: row.Run, Resilience: row.Resilience})

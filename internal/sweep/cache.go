@@ -48,6 +48,23 @@ func Key(desc any, seed int64) (string, error) {
 	return fmt.Sprintf("%x:%d", sha256.Sum256(canon), seed), nil
 }
 
+// ResultStore is the content-addressed result contract the daemon
+// programs against: Cache (memory-only) and Store (disk-backed,
+// store.go) both satisfy it, so the service layer is backend-blind.
+type ResultStore interface {
+	// Get returns a copy of the row stored under key, counting a hit
+	// or a miss. The caller owns the returned slice.
+	Get(key string) ([]byte, bool)
+	// GetRef is Get without the defensive copy: the returned bytes
+	// alias the store and must not be mutated or retained past
+	// immediate decoding.
+	GetRef(key string) ([]byte, bool)
+	// Put stores a row under key.
+	Put(key string, val []byte)
+	// Stats reports the entry count and the hit/miss counters.
+	Stats() (entries int, hits, misses int64)
+}
+
 // Cache is a thread-safe content-addressed result store: serialized
 // rows keyed by Key(desc, seed). It never evicts — campaign rows are
 // small and bounded by the grids a daemon actually serves — and it
@@ -65,9 +82,21 @@ func NewCache() *Cache {
 	return &Cache{entries: make(map[string][]byte)}
 }
 
-// Get returns the row stored under key, counting a hit or a miss.
-// Callers must treat the returned bytes as immutable.
+// Get returns a copy of the row stored under key, counting a hit or a
+// miss. The copy means a caller scribbling on the result cannot
+// poison every future hit for that key.
 func (c *Cache) Get(key string) ([]byte, bool) {
+	b, ok := c.GetRef(key)
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), b...), true
+}
+
+// GetRef is Get without the defensive copy: the returned bytes alias
+// the cache and MUST NOT be mutated or retained past immediate
+// decoding. For the daemon's unmarshal-and-drop hot path.
+func (c *Cache) GetRef(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	v, ok := c.entries[key]

@@ -1,0 +1,261 @@
+// Package client is a small retrying HTTP client for the mptcpd
+// service API: capped exponential backoff with jitter, Retry-After
+// honored on queue-full 503s, and connection-error retries so a
+// caller rides out a daemon restart — the client-side half of the
+// service's durability story, and the helper the smoke tests drive
+// the daemon with.
+//
+// Retries are safe by the service's own semantics: a submit that
+// never reached the daemon left no state, a 503 left no state by
+// definition, and a duplicate submit of the same spec is answered
+// from the content-addressed store — re-asking is idempotent in
+// effect even though POST is not in form.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Options tunes a Client. The zero value gets production defaults;
+// the hooks exist so tests can pin backoff behavior deterministically.
+type Options struct {
+	// HTTP is the underlying client (nil = http.DefaultClient).
+	HTTP *http.Client
+	// MaxAttempts bounds tries per request, first included (0 = 6).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (0 = 100ms); attempt n
+	// waits ~BaseDelay<<n, capped at MaxDelay (0 = 5s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Sleep replaces time.Sleep in tests.
+	Sleep func(time.Duration)
+	// Jitter returns a value in [0,1); nil = math/rand. The wait is
+	// "equal jitter": half the backoff fixed, half scaled by this.
+	Jitter func() float64
+}
+
+// Client talks to one mptcpd base URL ("http://host:port").
+type Client struct {
+	base string
+	o    Options
+}
+
+// New builds a client for the daemon at base.
+func New(base string, opts ...Options) *Client {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.HTTP == nil {
+		o.HTTP = http.DefaultClient
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 6
+	}
+	if o.BaseDelay <= 0 {
+		o.BaseDelay = 100 * time.Millisecond
+	}
+	if o.MaxDelay <= 0 {
+		o.MaxDelay = 5 * time.Second
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+	if o.Jitter == nil {
+		o.Jitter = rand.Float64
+	}
+	return &Client{base: base, o: o}
+}
+
+// CampaignStatus mirrors the daemon's status body.
+type CampaignStatus struct {
+	ID          string `json:"id"`
+	Kind        string `json:"kind"`
+	Name        string `json:"name,omitempty"`
+	State       string `json:"state"`
+	Done        int    `json:"done"`
+	Total       int    `json:"total"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	Rows        int    `json:"rows"`
+	Resumed     bool   `json:"resumed,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+// Terminal reports whether the campaign has reached a final state.
+func (st CampaignStatus) Terminal() bool {
+	switch st.State {
+	case "done", "cancelled", "failed":
+		return true
+	}
+	return false
+}
+
+// Health mirrors the daemon's /healthz body.
+type Health struct {
+	Status   string          `json:"status"`
+	QueueLen int             `json:"queue_len"`
+	QueueCap int             `json:"queue_cap"`
+	Store    json.RawMessage `json:"store,omitempty"`
+	Journal  json.RawMessage `json:"journal,omitempty"`
+}
+
+// backoffDelay is the wait before retry number attempt (0-based):
+// equal jitter over an exponentially growing, capped window, unless
+// the server named its own price via Retry-After.
+func (c *Client) backoffDelay(attempt int, resp *http.Response) time.Duration {
+	if resp != nil {
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				return min(time.Duration(secs)*time.Second, c.o.MaxDelay)
+			}
+		}
+	}
+	d := c.o.BaseDelay << attempt
+	if d <= 0 || d > c.o.MaxDelay { // <<= overflow or past the cap
+		d = c.o.MaxDelay
+	}
+	return d/2 + time.Duration(c.o.Jitter()*float64(d/2))
+}
+
+// do issues one request with the retry policy: connection errors and
+// 503s back off and retry; everything else returns immediately.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.o.MaxAttempts; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.o.HTTP.Do(req)
+		if err == nil && resp.StatusCode != http.StatusServiceUnavailable {
+			return resp, nil
+		}
+		if last := attempt == c.o.MaxAttempts-1; last {
+			if err != nil {
+				return nil, fmt.Errorf("client: %s %s: %d attempts exhausted: %w", method, path, c.o.MaxAttempts, err)
+			}
+			return resp, nil // the final 503 is the caller's to report
+		}
+		delay := c.backoffDelay(attempt, resp)
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		lastErr = err
+		if ctx != nil && ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		c.o.Sleep(delay)
+	}
+	return nil, lastErr // unreachable; loop always returns
+}
+
+// decode reads resp as JSON into v, turning non-2xx into an error
+// carrying the daemon's error body.
+func decode(resp *http.Response, v any) error {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &e) == nil && e.Error != "" {
+			return fmt.Errorf("client: %s: %s", resp.Status, e.Error)
+		}
+		return fmt.Errorf("client: %s: %s", resp.Status, bytes.TrimSpace(b))
+	}
+	if v == nil {
+		return nil
+	}
+	return json.Unmarshal(b, v)
+}
+
+// Submit POSTs a campaign spec (any JSON-marshalable value) and
+// returns the accepted campaign's status.
+func (c *Client) Submit(ctx context.Context, spec any) (CampaignStatus, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	resp, err := c.do(ctx, http.MethodPost, "/v1/campaigns", body)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	var st CampaignStatus
+	return st, decode(resp, &st)
+}
+
+// Status fetches one campaign's status.
+func (c *Client) Status(ctx context.Context, id string) (CampaignStatus, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id, nil)
+	if err != nil {
+		return CampaignStatus{}, err
+	}
+	var st CampaignStatus
+	return st, decode(resp, &st)
+}
+
+// WaitTerminal polls every poll until the campaign reaches a terminal
+// state or ctx expires.
+func (c *Client) WaitTerminal(ctx context.Context, id string, poll time.Duration) (CampaignStatus, error) {
+	if poll <= 0 {
+		poll = 50 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-time.After(poll):
+		}
+	}
+}
+
+// Artifact downloads one export artifact (export.csv, export.json,
+// resilience.csv, ...) of a finished campaign.
+func (c *Client) Artifact(ctx context.Context, id, name string) ([]byte, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+id+"/"+name, nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("client: artifact %s/%s: %s: %s", id, name, resp.Status, bytes.TrimSpace(b))
+	}
+	return b, nil
+}
+
+// Healthz fetches the daemon's durability/health surface.
+func (c *Client) Healthz(ctx context.Context) (Health, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/healthz", nil)
+	if err != nil {
+		return Health{}, err
+	}
+	var h Health
+	return h, decode(resp, &h)
+}

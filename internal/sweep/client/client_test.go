@@ -1,0 +1,161 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// pinned returns a client whose backoff is deterministic (jitter
+// pinned to 1.0, so the wait equals the full backoff window) and
+// whose sleeps are recorded instead of slept.
+func pinned(base string, attempts int, maxDelay time.Duration, slept *[]time.Duration) *Client {
+	return New(base, Options{
+		MaxAttempts: attempts,
+		BaseDelay:   100 * time.Millisecond,
+		MaxDelay:    maxDelay,
+		Sleep:       func(d time.Duration) { *slept = append(*slept, d) },
+		Jitter:      func() float64 { return 1.0 },
+	})
+}
+
+// TestClientHonorsRetryAfter: a queue-full 503 carrying Retry-After
+// sets the wait exactly; the request succeeds once the queue drains.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		if calls <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprint(w, `{"error":"campaign queue full"}`)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprint(w, `{"id":"c1","state":"queued"}`)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	st, err := pinned(ts.URL, 6, 5*time.Second, &slept).Submit(context.Background(), map[string]any{"experiment": "fig8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ID != "c1" || calls != 3 {
+		t.Fatalf("Submit = %+v after %d calls", st, calls)
+	}
+	want := []time.Duration{time.Second, time.Second}
+	if len(slept) != 2 || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("slept %v, want Retry-After-pinned %v", slept, want)
+	}
+}
+
+// TestClientBackoffCaps: without Retry-After the waits grow
+// exponentially from BaseDelay and cap at MaxDelay.
+func TestClientBackoffCaps(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	resp, err := pinned(ts.URL, 6, 800*time.Millisecond, &slept).do(context.Background(), http.MethodGet, "/v1/campaigns/c1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("exhausted retries should surface the final 503, got %d", resp.StatusCode)
+	}
+	// Jitter pinned to 1.0 → wait = full window: 100, 200, 400, then
+	// capped at 800, 800 for the 5 sleeps between 6 attempts.
+	want := []time.Duration{100, 200, 400, 800, 800}
+	if len(slept) != len(want) {
+		t.Fatalf("slept %v, want %d waits", slept, len(want))
+	}
+	for i, ms := range want {
+		if slept[i] != ms*time.Millisecond {
+			t.Fatalf("wait %d = %v, want %v (full slept %v)", i, slept[i], ms*time.Millisecond, slept)
+		}
+	}
+}
+
+// TestClientRetriesConnectionErrors: a dead daemon (restarting after
+// a crash) produces transport errors, which retry like 503s and
+// succeed once the daemon is back.
+func TestClientRetriesConnectionErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"id":"c1","state":"done"}`)
+	}))
+	defer ts.Close()
+
+	var calls int
+	rt := roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		calls++
+		if calls <= 2 {
+			return nil, fmt.Errorf("dial tcp: connection refused")
+		}
+		return http.DefaultTransport.RoundTrip(r)
+	})
+	var slept []time.Duration
+	c := New(ts.URL, Options{
+		HTTP:        &http.Client{Transport: rt},
+		MaxAttempts: 4,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+		Jitter:      func() float64 { return 0 },
+	})
+	st, err := c.Status(context.Background(), "c1")
+	if err != nil || st.State != "done" {
+		t.Fatalf("Status = %+v, %v after %d dials", st, err, calls)
+	}
+	if calls != 3 || len(slept) != 2 {
+		t.Fatalf("wanted 2 retried connection errors, got %d calls, slept %v", calls, slept)
+	}
+}
+
+// TestClientExhaustsAttemptsOnDeadDaemon: permanent transport failure
+// surfaces the last error after exactly MaxAttempts tries.
+func TestClientExhaustsAttemptsOnDeadDaemon(t *testing.T) {
+	var calls int
+	rt := roundTripFunc(func(r *http.Request) (*http.Response, error) {
+		calls++
+		return nil, fmt.Errorf("dial tcp: connection refused")
+	})
+	var slept []time.Duration
+	c := New("http://127.0.0.1:0", Options{
+		HTTP:        &http.Client{Transport: rt},
+		MaxAttempts: 3,
+		Sleep:       func(d time.Duration) { slept = append(slept, d) },
+	})
+	if _, err := c.Status(context.Background(), "c1"); err == nil {
+		t.Fatal("dead daemon produced no error")
+	}
+	if calls != 3 {
+		t.Fatalf("made %d attempts, want exactly MaxAttempts=3", calls)
+	}
+}
+
+// TestClientNonRetryableStatusReturnsImmediately: 4xx responses are
+// the caller's problem, not a reason to back off.
+func TestClientNonRetryableStatusReturnsImmediately(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		w.WriteHeader(http.StatusBadRequest)
+		fmt.Fprint(w, `{"error":"unknown experiment \"fig99\""}`)
+	}))
+	defer ts.Close()
+
+	var slept []time.Duration
+	_, err := pinned(ts.URL, 6, 5*time.Second, &slept).Submit(context.Background(), map[string]any{"experiment": "fig99"})
+	if err == nil || calls != 1 || len(slept) != 0 {
+		t.Fatalf("400 handling: err=%v calls=%d slept=%v; want one attempt, no sleeps, an error", err, calls, slept)
+	}
+}
+
+type roundTripFunc func(*http.Request) (*http.Response, error)
+
+func (f roundTripFunc) RoundTrip(r *http.Request) (*http.Response, error) { return f(r) }
